@@ -1,0 +1,61 @@
+// Command ckptopt computes an optimized multilevel checkpoint plan from a
+// JSON problem specification.
+//
+// Usage:
+//
+//	ckptopt -spec problem.json [-policy ml-opt-scale] [-json]
+//	ckptopt -paper -te 3e6 -rates 16-12-8-4 [-policy ...] [-json]
+//
+// With -paper, the spec is the paper's Section IV evaluation problem at
+// the given workload (core-days) and failure case. Without -json the plan
+// is printed as a human-readable summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mlckpt"
+	"mlckpt/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ckptopt: ")
+	var (
+		specPath = flag.String("spec", "", "path to a JSON Spec")
+		policy   = flag.String("policy", string(mlckpt.MLOptScale), "ml-opt-scale | sl-opt-scale | ml-ori-scale | sl-ori-scale")
+		paper    = flag.Bool("paper", false, "use the paper's Section IV problem")
+		te       = flag.Float64("te", 3e6, "workload in core-days (with -paper)")
+		rates    = flag.String("rates", "16-12-8-4", "failure case r1-r2-r3-r4 (with -paper)")
+		asJSON   = flag.Bool("json", false, "emit the plan as JSON")
+	)
+	flag.Parse()
+
+	spec, err := cli.ResolveSpec(*paper, *specPath, *te, *rates)
+	if err != nil {
+		flag.Usage()
+		log.Fatal(err)
+	}
+
+	plan, err := mlckpt.Optimize(spec, mlckpt.Policy(*policy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("policy:               %s\n", plan.Policy)
+	fmt.Printf("optimal scale:        %d cores\n", plan.Scale)
+	fmt.Printf("checkpoint intervals: %v (per level; 1 = no checkpoints)\n", plan.Intervals)
+	fmt.Printf("expected wall clock:  %.2f days\n", plan.ExpectedWallClockDays)
+	fmt.Printf("algorithm-1 iters:    %d (converged: %v)\n", plan.OuterIterations, plan.Converged)
+}

@@ -1,0 +1,93 @@
+// Command cksim simulates an execution under a multilevel checkpoint plan
+// and prints the wall-clock breakdown.
+//
+// Usage:
+//
+//	cksim -paper -te 3e6 -rates 16-12-8-4 [-policy ml-opt-scale] [-runs 100] [-json]
+//	cksim -spec problem.json [-policy ...] [-runs N] [-json]
+//	cksim -paper -plan plan.json        # replay a plan saved by ckptopt -json
+//
+// The plan is computed with the selected policy, then played through the
+// stochastic simulator.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mlckpt"
+	"mlckpt/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cksim: ")
+	var (
+		specPath = flag.String("spec", "", "path to a JSON Spec")
+		policy   = flag.String("policy", string(mlckpt.MLOptScale), "optimization policy")
+		paper    = flag.Bool("paper", false, "use the paper's Section IV problem")
+		te       = flag.Float64("te", 3e6, "workload in core-days (with -paper)")
+		rates    = flag.String("rates", "16-12-8-4", "failure case (with -paper)")
+		runs     = flag.Int("runs", 100, "simulation repetitions")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		jitter   = flag.Float64("jitter", 0.3, "overhead jitter ratio")
+		planPath = flag.String("plan", "", "simulate a saved plan JSON (from ckptopt -json) instead of re-optimizing")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	spec, err := cli.ResolveSpec(*paper, *specPath, *te, *rates)
+	if err != nil {
+		flag.Usage()
+		log.Fatal(err)
+	}
+
+	var plan mlckpt.Plan
+	if *planPath != "" {
+		blob, err := os.ReadFile(*planPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(blob, &plan); err != nil {
+			log.Fatalf("parsing %s: %v", *planPath, err)
+		}
+	} else {
+		plan, err = mlckpt.Optimize(spec, mlckpt.Policy(*policy))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := mlckpt.Simulate(spec, plan, mlckpt.SimOptions{
+		Runs: *runs, Seed: *seed, Jitter: *jitter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Plan   mlckpt.Plan   `json:"plan"`
+			Report mlckpt.Report `json:"report"`
+		}{plan, rep}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("plan: %s at %d cores, intervals %v (model estimate %.2f days)\n",
+		plan.Policy, plan.Scale, plan.Intervals, plan.ExpectedWallClockDays)
+	fmt.Printf("simulated over %d runs:\n", rep.Runs)
+	fmt.Printf("  wall clock:  %.2f ± %.2f days\n", rep.MeanWallClockDays, rep.CI95Days)
+	fmt.Printf("  productive:  %.2f days\n", rep.ProductiveDays)
+	fmt.Printf("  checkpoint:  %.2f days\n", rep.CheckpointDays)
+	fmt.Printf("  restart:     %.2f days\n", rep.RestartDays)
+	fmt.Printf("  rollback:    %.2f days\n", rep.RollbackDays)
+	fmt.Printf("  failures:    %.0f per run (mean)\n", rep.MeanFailures)
+	fmt.Printf("  efficiency:  %.3f\n", rep.Efficiency)
+	if rep.TruncatedRuns > 0 {
+		fmt.Printf("  WARNING: %d runs hit the truncation horizon\n", rep.TruncatedRuns)
+	}
+}

@@ -1,0 +1,162 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-runs N] [-quick] <id>...
+//	experiments all
+//
+// IDs: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens.
+// -quick shrinks run counts and scales for a fast smoke pass; the default
+// settings reproduce the paper's configuration (100-run means).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mlckpt/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		runs  = flag.Int("runs", 0, "override simulation repetitions (0 = paper default)")
+		quick = flag.Bool("quick", false, "fast smoke settings")
+	)
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "ids: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens all")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"fig1", "fig2", "fig3", "fig4", "tab2", "fig5", "tab3", "fig6", "fig7", "tab4", "conv", "ablate", "sens"}
+	}
+	simRuns := *runs
+	if *quick && simRuns == 0 {
+		simRuns = 10
+	}
+
+	// Figures 5-7 and Table III share the two Eval sweeps; compute lazily.
+	var eval3, eval10 *experiments.EvalResult
+	getEval := func(te float64) (*experiments.EvalResult, error) {
+		cache := &eval3
+		if te == 10e6 {
+			cache = &eval10
+		}
+		if *cache == nil {
+			r, err := experiments.Eval(te, simRuns, nil)
+			if err != nil {
+				return nil, err
+			}
+			*cache = &r
+		}
+		return *cache, nil
+	}
+
+	for _, id := range ids {
+		var out string
+		var err error
+		switch id {
+		case "fig1":
+			out = experiments.Fig1(50).Render()
+		case "fig2":
+			maxScale := 1024
+			if *quick {
+				maxScale = 64
+			}
+			var r experiments.Fig2Result
+			r, err = experiments.Fig2(maxScale)
+			if err == nil {
+				out = r.Render()
+			}
+		case "fig3":
+			var r experiments.Fig3Result
+			r, err = experiments.Fig3(9)
+			if err == nil {
+				out = r.Render()
+			}
+		case "fig4":
+			ranks, real, sims := 32, 10, 400
+			if *quick {
+				ranks, real, sims = 16, 3, 100
+			}
+			var r experiments.Fig4Result
+			r, err = experiments.Fig4(ranks, real, sims)
+			if err == nil {
+				out = r.Render()
+			}
+		case "tab2":
+			scales := []int{128, 256, 384, 512, 1024}
+			if *quick {
+				scales = []int{128, 256, 512}
+			}
+			var r experiments.Tab2Result
+			r, err = experiments.Tab2(scales)
+			if err == nil {
+				out = r.Render()
+			}
+		case "fig5":
+			var r *experiments.EvalResult
+			r, err = getEval(3e6)
+			if err == nil {
+				out = r.Render()
+			}
+		case "tab3":
+			var r *experiments.EvalResult
+			r, err = getEval(3e6)
+			if err == nil {
+				out = r.RenderTab3()
+			}
+		case "fig6":
+			var r *experiments.EvalResult
+			r, err = getEval(10e6)
+			if err == nil {
+				out = r.Render()
+			}
+		case "fig7":
+			var r3, r10 *experiments.EvalResult
+			r3, err = getEval(3e6)
+			if err == nil {
+				r10, err = getEval(10e6)
+			}
+			if err == nil {
+				out = r3.RenderFig7() + r10.RenderFig7()
+			}
+		case "tab4":
+			var r experiments.Tab4Result
+			r, err = experiments.Tab4(simRuns, nil)
+			if err == nil {
+				out = r.Render()
+			}
+		case "conv":
+			var r experiments.ConvResult
+			r, err = experiments.Convergence(nil)
+			if err == nil {
+				out = r.Render()
+			}
+		case "ablate":
+			var r experiments.AblateResult
+			r, err = experiments.Ablate("16-12-8-4", simRuns)
+			if err == nil {
+				out = r.Render()
+			}
+		case "sens":
+			var r experiments.SensResult
+			r, err = experiments.Sensitivity("16-12-8-4")
+			if err == nil {
+				out = r.Render()
+			}
+		default:
+			log.Fatalf("unknown experiment id %q", id)
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(out)
+	}
+}

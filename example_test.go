@@ -1,0 +1,70 @@
+package mlckpt_test
+
+import (
+	"fmt"
+
+	"mlckpt"
+)
+
+// ExampleOptimize shows the core workflow: describe the application and
+// machine, get an optimized checkpoint plan.
+func ExampleOptimize() {
+	spec := mlckpt.PaperSpec(3e6, []float64{16, 12, 8, 4})
+	plan, err := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged: %v\n", plan.Converged)
+	fmt.Printf("levels: %d\n", len(plan.Intervals))
+	fmt.Printf("scale below ideal: %v\n", plan.Scale < 1_000_000)
+	// Output:
+	// converged: true
+	// levels: 4
+	// scale below ideal: true
+}
+
+// ExampleOptimize_policies compares the four strategies of the paper's
+// evaluation on the analytic model.
+func ExampleOptimize_policies() {
+	spec := mlckpt.PaperSpec(3e6, []float64{8, 6, 4, 2})
+	mlOpt, _ := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+	mlOri, _ := mlckpt.Optimize(spec, mlckpt.MLOriScale)
+	fmt.Printf("joint optimization beats fixed scale: %v\n",
+		mlOpt.ExpectedWallClockDays < mlOri.ExpectedWallClockDays)
+	fmt.Printf("fixed-scale baseline uses all cores: %v\n", mlOri.Scale == 1_000_000)
+	// Output:
+	// joint optimization beats fixed scale: true
+	// fixed-scale baseline uses all cores: true
+}
+
+// ExampleSimulate validates a plan stochastically.
+func ExampleSimulate() {
+	spec := mlckpt.PaperSpec(3e6, []float64{16, 12, 8, 4})
+	plan, _ := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+	rep, err := mlckpt.Simulate(spec, plan, mlckpt.SimOptions{Runs: 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs: %d\n", rep.Runs)
+	fmt.Printf("portions cover the wall clock: %v\n",
+		rep.ProductiveDays+rep.CheckpointDays+rep.RestartDays+rep.RollbackDays > 0.99*rep.MeanWallClockDays)
+	// Output:
+	// runs: 10
+	// portions cover the wall clock: true
+}
+
+// ExampleOptimizeWithSelection shows level-subset selection: a useless
+// level is dropped and its failures escalate upward.
+func ExampleOptimizeWithSelection() {
+	spec := mlckpt.PaperSpec(1e6, []float64{16, 12, 0, 4})
+	spec.Levels[2].CheckpointConst = 2000 // expensive and failure-free
+	sel, err := mlckpt.OptimizeWithSelection(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("level 3 kept: %v\n", sel.EnabledLevels[2])
+	fmt.Printf("top level kept: %v\n", sel.EnabledLevels[3])
+	// Output:
+	// level 3 kept: false
+	// top level kept: true
+}

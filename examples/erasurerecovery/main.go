@@ -1,0 +1,88 @@
+// Erasurerecovery demonstrates FTI's level-3 checkpoint surviving multiple
+// simultaneous node crashes through real Reed-Solomon reconstruction: 16
+// nodes checkpoint their state into two 8+2 encoding groups, three nodes
+// die, and the lost shards are rebuilt from the survivors over GF(256).
+//
+// Run with: go run ./examples/erasurerecovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"mlckpt/internal/fti"
+	"mlckpt/internal/mpisim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const nodes = 16
+	cfg := fti.DefaultConfig()
+	cfg.GroupSize = 8
+	cfg.Parity = 2
+
+	cluster, err := fti.NewCluster(nodes, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every rank checkpoints 4 KiB of distinctive state at level 3.
+	payload := func(rank int) []byte {
+		out := make([]byte, 4096)
+		for i := range out {
+			out[i] = byte(rank*31 + i)
+		}
+		return out
+	}
+	var dur float64
+	if _, err := mpisim.Run(nodes, mpisim.DefaultCostModel(), func(r *mpisim.Rank) {
+		agent := cluster.Attach(r)
+		d, err := agent.Checkpoint(3, payload(r.ID()))
+		if err != nil {
+			panic(err)
+		}
+		if r.ID() == 0 {
+			dur = d
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("level-3 checkpoint on %d nodes (8+2 Reed-Solomon groups): %.3f s per node\n", nodes, dur)
+
+	// Kill two nodes in group 0 and one in group 1.
+	dead := []int{1, 5, 12}
+	fmt.Printf("crashing nodes %v\n", dead)
+	if err := cluster.Crash(dead); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, st := range cluster.Survey() {
+		fmt.Printf("  level %d recoverable: %v\n", st.Level, st.Available)
+	}
+	lvl, _, ok := cluster.BestRecovery()
+	if !ok {
+		log.Fatal("nothing recoverable — unexpected")
+	}
+	fmt.Printf("best recovery: level %d\n", lvl)
+
+	restored, err := cluster.Restore(lvl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank := 0; rank < nodes; rank++ {
+		if !bytes.Equal(restored[rank], payload(rank)) {
+			log.Fatalf("rank %d state corrupted after reconstruction", rank)
+		}
+	}
+	fmt.Println("all 16 states reconstructed bit-exactly, including the 3 lost shards")
+
+	// One more crash in group 0 exceeds the parity budget.
+	if err := cluster.Crash([]int{2, 3}); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, ok := cluster.BestRecovery(); !ok {
+		fmt.Println("after two more crashes in group 0 (4 > parity 2): level 3 lost, as expected")
+	}
+}

@@ -1,0 +1,104 @@
+// Modelvalidation walks through the repository's three layers of evidence
+// that the optimizer can be trusted:
+//
+//  1. The analytic model (Formula 21) agrees with the stochastic simulator
+//     portion by portion at the optimized plan.
+//  2. An independent derivative-free search (Nelder–Mead over all five
+//     variables) lands on the same optimum as the paper's fixed-point
+//     solver.
+//  3. The failure streams the simulator consumes have the statistics they
+//     are supposed to have (rates, exponential interarrivals).
+//
+// Run with: go run ./examples/modelvalidation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mlckpt/internal/core"
+	"mlckpt/internal/experiments"
+	"mlckpt/internal/failure"
+	"mlckpt/internal/numopt"
+	"mlckpt/internal/sim"
+	"mlckpt/internal/trace"
+
+	"mlckpt/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	sc := experiments.EvalScenario(3e6, "8-6-4-2")
+	p := sc.Params()
+	day := failure.SecondsPerDay
+
+	fmt.Println("=== 1. Analytic portions vs simulated portions ===")
+	sol, err := core.Optimize(p, core.Options{OuterTol: 1e-12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mu := p.MuOfN(sol.N, sol.WallClock)
+	analytic := p.WallClockPortions(sol.X, sol.N, mu)
+	agg, err := sim.Simulate(sim.Config{Params: p, N: sol.N, X: sol.X, JitterRatio: 0.3}, 200, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %12s %12s\n", "portion", "model (d)", "sim (d)")
+	rows := []struct {
+		name       string
+		model, sim float64
+	}{
+		{"productive", analytic.Productive, agg.Productive.Mean},
+		{"checkpoint", analytic.Checkpoint, agg.Checkpoint.Mean},
+		{"restart", analytic.Restart, agg.Restart.Mean},
+		{"rollback", analytic.Rollback, agg.Rollback.Mean},
+		{"total", analytic.Total(), agg.WallClock.Mean},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %12.2f %12.2f\n", r.name, r.model/day, r.sim/day)
+	}
+	fmt.Println("(the simulator runs above the first-order model: it compounds",
+		"\n failures during overheads and repeated strikes per interval)")
+
+	fmt.Println("\n=== 2. Fixed-point optimum vs independent Nelder–Mead search ===")
+	b := p.BOfT(sol.WallClock)
+	objective := func(v []float64) float64 {
+		n := v[4]
+		if n <= 1 || n > p.Speedup.IdealScale() {
+			return math.Inf(1)
+		}
+		for _, xi := range v[:4] {
+			if xi < 1 {
+				return math.Inf(1)
+			}
+		}
+		m := make([]float64, 4)
+		for i := range m {
+			m[i] = b[i] * n
+		}
+		return p.WallClock(v[:4], n, m)
+	}
+	_, best, err := numopt.NelderMead(objective, []float64{500, 200, 100, 10, 3e5},
+		numopt.NelderMeadOptions{MaxIter: 60000, Tol: 1e-13, Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed point: N=%.0f x=%v  E(Tw)=%.3f d\n",
+		sol.N, sol.Intervals(), objective(append(append([]float64(nil), sol.X...), sol.N))/day)
+	fmt.Printf("simplex:     N=%.0f x=[%.0f %.0f %.0f %.0f]  E(Tw)=%.3f d\n",
+		best[4], best[0], best[1], best[2], best[3], objective(best)/day)
+
+	fmt.Println("\n=== 3. Failure-stream statistics ===")
+	horizon := 200 * day
+	events := failure.Trace(p.Rates, sol.N, horizon, failure.Exponential, 0, stats.NewRNG(5))
+	st, err := trace.Analyze(events, 4, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range st {
+		want := p.Rates.PerDay[s.Level-1] * sol.N / 1e6
+		fmt.Printf("level %d: %.2f failures/day (want %.2f at N=%.0f), CV=%.2f exponential=%v\n",
+			s.Level, s.RatePerDay, want, sol.N, s.CV, s.LooksExponential(0.2))
+	}
+}

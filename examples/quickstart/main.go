@@ -1,0 +1,78 @@
+// Quickstart: optimize a multilevel checkpoint configuration for an
+// exascale application and validate the plan with the stochastic
+// simulator.
+//
+// The application processes 3 million core-days, scales like the paper's
+// Heat Distribution program (quadratic speedup, ideal at 10^6 cores), and
+// is protected by four FTI-style checkpoint levels whose costs were
+// characterized in the paper's Table II. Failures arrive at 16/12/8/4
+// events per day (levels 1-4) when using all 10^6 cores, growing
+// proportionally with the allocation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlckpt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := mlckpt.Spec{
+		TeCoreDays: 3e6,
+		Speedup: mlckpt.SpeedupSpec{
+			Kind:       "quadratic",
+			Kappa:      0.46, // slope near the origin, estimable from one small run
+			IdealScale: 1e6,  // N^(*): where the raw speedup peaks
+		},
+		Levels: []mlckpt.LevelSpec{
+			{CheckpointConst: 0.866}, // L1: local storage
+			{CheckpointConst: 2.586}, // L2: partner copy
+			{CheckpointConst: 3.886}, // L3: Reed-Solomon
+			{CheckpointConst: 5.5, CheckpointSlope: 0.0212, SaturationCap: 262144}, // L4: PFS
+		},
+		AllocSeconds:   60,
+		FailuresPerDay: []float64{16, 12, 8, 4},
+	}
+
+	fmt.Println("=== Joint interval + scale optimization (the paper's ML(opt-scale)) ===")
+	plan, err := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run on %d of the available 1,000,000 cores\n", plan.Scale)
+	for i, x := range plan.Intervals {
+		fmt.Printf("  level %d: %d checkpoint intervals\n", i+1, x)
+	}
+	fmt.Printf("expected wall clock: %.1f days (Algorithm 1 converged in %d iterations)\n\n",
+		plan.ExpectedWallClockDays, plan.OuterIterations)
+
+	fmt.Println("=== Stochastic validation (100 simulated executions) ===")
+	rep, err := mlckpt.Simulate(spec, plan, mlckpt.SimOptions{Runs: 100, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wall clock:  %.1f ± %.1f days (model said %.1f)\n",
+		rep.MeanWallClockDays, rep.CI95Days, plan.ExpectedWallClockDays)
+	fmt.Printf("breakdown:   productive %.1f | checkpoint %.1f | restart %.1f | rollback %.1f days\n",
+		rep.ProductiveDays, rep.CheckpointDays, rep.RestartDays, rep.RollbackDays)
+	fmt.Printf("failures:    %.0f per execution on average\n", rep.MeanFailures)
+	fmt.Printf("efficiency:  %.3f\n\n", rep.Efficiency)
+
+	fmt.Println("=== Why not just use every core? (the ML(ori-scale) baseline) ===")
+	oriPlan, err := mlckpt.Optimize(spec, mlckpt.MLOriScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oriRep, err := mlckpt.Simulate(spec, oriPlan, mlckpt.SimOptions{Runs: 100, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := 1 - rep.MeanWallClockDays/oriRep.MeanWallClockDays
+	fmt.Printf("at the full 1,000,000 cores: %.1f days; optimized scale saves %.1f%%\n",
+		oriRep.MeanWallClockDays, gain*100)
+}

@@ -1,0 +1,74 @@
+// Scalesweep explores how the optimal execution scale responds to failure
+// rates and workload size — the tradeoff at the heart of the paper: more
+// cores mean more speedup but also more failures, so the optimum sits
+// below the application's ideal scale, and moves further down as the
+// machine gets less reliable.
+//
+// Run with: go run ./examples/scalesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlckpt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Optimal scale vs failure intensity (Te = 3M core-days, ideal scale 1,000,000):")
+	fmt.Printf("%-14s %14s %14s %16s\n", "failures/day", "N* (cores)", "% of ideal", "E(Tw) (days)")
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		rates := []float64{16 * mult, 12 * mult, 8 * mult, 4 * mult}
+		spec := mlckpt.PaperSpec(3e6, rates)
+		plan, err := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %14d %13.1f%% %16.1f\n",
+			fmt.Sprintf("%.0f-%.0f-%.0f-%.0f", rates[0], rates[1], rates[2], rates[3]),
+			plan.Scale, float64(plan.Scale)/1e4, plan.ExpectedWallClockDays)
+	}
+
+	fmt.Println("\nOptimal scale vs workload (failures 16-12-8-4/day):")
+	fmt.Printf("%-18s %14s %16s %12s\n", "Te (core-days)", "N* (cores)", "E(Tw) (days)", "efficiency")
+	for _, te := range []float64{1e6, 3e6, 10e6, 30e6} {
+		spec := mlckpt.PaperSpec(te, []float64{16, 12, 8, 4})
+		plan, err := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff := te / plan.ExpectedWallClockDays / float64(plan.Scale)
+		fmt.Printf("%-18.3g %14d %16.1f %12.3f\n", te, plan.Scale, plan.ExpectedWallClockDays, eff)
+	}
+
+	fmt.Println("\nWeak scaling (Gustafson speedup, serial fraction 5%):")
+	fmt.Println("the paper's model covers weak scaling through the speedup function;")
+	fmt.Println("with near-linear scaled speedup the failure tradeoff alone picks N*:")
+	fmt.Printf("%-14s %14s %16s\n", "failures/day", "N* (cores)", "E(Tw) (days)")
+	for _, mult := range []float64{1, 4, 16} {
+		spec := mlckpt.PaperSpec(3e6, []float64{16 * mult, 12 * mult, 8 * mult, 4 * mult})
+		spec.Speedup = mlckpt.SpeedupSpec{Kind: "gustafson", SerialFraction: 0.05, IdealScale: 1e6}
+		plan, err := mlckpt.Optimize(spec, mlckpt.MLOptScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %14d %16.1f\n",
+			fmt.Sprintf("%.0fx base", mult), plan.Scale, plan.ExpectedWallClockDays)
+	}
+
+	fmt.Println("\nPolicy comparison at 16-12-8-4 (model estimates):")
+	spec := mlckpt.PaperSpec(3e6, []float64{16, 12, 8, 4})
+	for _, pol := range mlckpt.Policies {
+		plan, err := mlckpt.Optimize(spec, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if pol == mlckpt.SLOriScale {
+			note = "  (first-order estimate; simulation is far worse — see cmd/experiments tab4)"
+		}
+		fmt.Printf("  %-13s N=%7d  E(Tw)=%7.1f days%s\n", pol, plan.Scale, plan.ExpectedWallClockDays, note)
+	}
+}

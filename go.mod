@@ -1,0 +1,3 @@
+module mlckpt
+
+go 1.22

@@ -1,0 +1,103 @@
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlckpt"
+)
+
+func writeSpec(t *testing.T, spec mlckpt.Spec) string {
+	t.Helper()
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSpecRoundTrip(t *testing.T) {
+	want := mlckpt.PaperSpec(3e6, []float64{16, 12, 8, 4})
+	got, err := LoadSpec(writeSpec(t, want))
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if got.TeCoreDays != want.TeCoreDays || len(got.Levels) != len(want.Levels) {
+		t.Errorf("round trip changed the spec: %+v", got)
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadSpecBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); !errors.Is(err, ErrCLI) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadSpecInvalidProblem(t *testing.T) {
+	bad := mlckpt.PaperSpec(3e6, []float64{16, 12, 8, 4})
+	bad.TeCoreDays = -1
+	if _, err := LoadSpec(writeSpec(t, bad)); !errors.Is(err, ErrCLI) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPaperSpecFromFlags(t *testing.T) {
+	spec, err := PaperSpecFromFlags(3e6, "16-12-8-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.FailuresPerDay) != 4 || spec.FailuresPerDay[0] != 16 {
+		t.Errorf("rates = %v", spec.FailuresPerDay)
+	}
+	if _, err := PaperSpecFromFlags(0, "16-12-8-4"); !errors.Is(err, ErrCLI) {
+		t.Errorf("zero te: %v", err)
+	}
+	if _, err := PaperSpecFromFlags(1e6, "garbage"); !errors.Is(err, ErrCLI) {
+		t.Errorf("bad rates: %v", err)
+	}
+	if _, err := PaperSpecFromFlags(1e6, "1-2-3"); !errors.Is(err, ErrCLI) {
+		t.Errorf("3 levels: %v", err)
+	}
+}
+
+func TestResolveSpec(t *testing.T) {
+	if _, err := ResolveSpec(false, "", 0, ""); !errors.Is(err, ErrCLI) {
+		t.Errorf("no source: %v", err)
+	}
+	spec, err := ResolveSpec(true, "", 2e6, "8-6-4-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TeCoreDays != 2e6 {
+		t.Errorf("te = %g", spec.TeCoreDays)
+	}
+	path := writeSpec(t, mlckpt.PaperSpec(1e6, []float64{4, 3, 2, 1}))
+	spec, err = ResolveSpec(false, path, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TeCoreDays != 1e6 {
+		t.Errorf("file spec te = %g", spec.TeCoreDays)
+	}
+	// End-to-end: the resolved spec optimizes.
+	if _, err := mlckpt.Optimize(spec, mlckpt.MLOptScale); err != nil {
+		t.Errorf("resolved spec does not optimize: %v", err)
+	}
+}

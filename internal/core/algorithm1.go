@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlckpt/internal/model"
+)
+
+// Optimize runs Algorithm 1: it initializes the expected failure counts
+// from the failure-free productive time (lines 1–3), then alternates the
+// inner convex solve with a refresh of the expected failure counts from
+// the new expected wall-clock length (lines 4–11) until
+// max_i |μ'_i − μ_i| ≤ δ.
+func Optimize(p *model.Params, opts Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	opts = opts.withDefaults()
+
+	// Lines 1–3: μ_i from the failure-free productive time at the starting
+	// scale (the ideal scale, capped by the machine size, or the pinned
+	// one).
+	n := p.Speedup.IdealScale()
+	if opts.MaxScale > 0 && opts.MaxScale < n {
+		n = opts.MaxScale
+	}
+	if opts.FixedN > 0 {
+		n = opts.FixedN
+	}
+	tEst := p.ProductiveTime(n)
+	if math.IsInf(tEst, 0) || tEst <= 0 {
+		return Solution{}, fmt.Errorf("%w: productive time %g at N=%g", ErrDiverged, tEst, n)
+	}
+	mu := p.MuOfN(n, tEst)
+
+	sol := Solution{}
+	var aitken []float64 // trailing wall-clock estimates for Δ² extrapolation
+	for outer := 1; outer <= opts.OuterMaxIter; outer++ {
+		// Line 5: inner convex solve under μ_i(N) = b_i·N.
+		x, nStar, innerIters, err := SolveInner(p, tEst, n, opts)
+		sol.InnerIterations += innerIters
+		if err != nil {
+			return sol, err
+		}
+		n = nStar
+
+		// Line 6: expected wall clock under the solved (x, N).
+		muStar := p.MuOfN(n, tEst)
+		wct := p.WallClock(x, n, muStar)
+		if math.IsNaN(wct) || math.IsInf(wct, 0) || wct <= 0 {
+			return sol, fmt.Errorf("%w: wall clock %g at outer step %d", ErrDiverged, wct, outer)
+		}
+		if opts.Damping > 0 {
+			wct = (1-opts.Damping)*wct + opts.Damping*tEst
+		}
+		if opts.Accelerate {
+			aitken = append(aitken, wct)
+			if len(aitken) == 3 {
+				d0 := aitken[1] - aitken[0]
+				d1 := aitken[2] - aitken[1]
+				den := d1 - d0
+				if math.Abs(den) > 1e-12*math.Abs(aitken[2]) {
+					if acc := aitken[2] - d1*d1/den; acc > 0 && !math.IsNaN(acc) && !math.IsInf(acc, 0) {
+						wct = acc
+					}
+				}
+				aitken = aitken[:0]
+			}
+		}
+
+		// Lines 7–10: refresh μ from the new wall clock.
+		newMu := p.MuOfN(n, wct)
+		delta := 0.0
+		for i := range mu {
+			if d := math.Abs(newMu[i] - mu[i]); d > delta {
+				delta = d
+			}
+		}
+		sol.History = append(sol.History, OuterStep{
+			Mu: append([]float64(nil), mu...), N: n, WallClock: wct, MuDelta: delta,
+		})
+		mu, tEst = newMu, wct
+		sol.X, sol.N, sol.WallClock, sol.Mu = x, n, wct, newMu
+		sol.OuterIterations = outer
+
+		// Divergence guard: μ exploding beyond any physical regime means
+		// the failure rates outpace progress (Section III-D's caveat).
+		if delta > 1e12 {
+			return sol, fmt.Errorf("%w: μ delta %g at outer step %d", ErrDiverged, delta, outer)
+		}
+		// Line 11: convergence on the failure counts.
+		if delta <= opts.OuterTol {
+			sol.Converged = true
+			return sol, nil
+		}
+		if opts.SinglePass {
+			// Classic Young: no refresh loop; keep the first-pass answer.
+			return sol, nil
+		}
+	}
+	return sol, fmt.Errorf("%w: Algorithm 1 after %d outer iterations", ErrNoConverge, opts.OuterMaxIter)
+}

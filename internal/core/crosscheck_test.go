@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mlckpt/internal/numopt"
+	"mlckpt/internal/overhead"
+)
+
+// TestMultilevelOptimumCrossCheckedByNelderMead verifies the paper's
+// fixed-point solution against an entirely independent method: a
+// derivative-free Nelder–Mead search over (x_1..x_4, N) on the same frozen
+// objective. The two share no code, so agreement is strong evidence that
+// both the first-order conditions (Formulas 23/24) and their fixed-point
+// solver are implemented correctly.
+func TestMultilevelOptimumCrossCheckedByNelderMead(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	sol, err := Optimize(p, Options{OuterTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the failure model at the converged wall clock (the inner
+	// convex problem both methods must agree on).
+	b := p.BOfT(sol.WallClock)
+	objective := func(v []float64) float64 {
+		x := v[:4]
+		n := v[4]
+		if n <= 1 || n > p.Speedup.IdealScale() {
+			return math.Inf(1)
+		}
+		for _, xi := range x {
+			if xi < 1 {
+				return math.Inf(1)
+			}
+		}
+		mu := make([]float64, 4)
+		for i := range mu {
+			mu[i] = b[i] * n
+		}
+		return p.WallClock(x, n, mu)
+	}
+
+	// Start Nelder–Mead from a deliberately wrong point.
+	start := []float64{500, 200, 100, 10, 3e5}
+	_, best, err := numopt.NelderMead(objective, start, numopt.NelderMeadOptions{
+		MaxIter: 60000, Tol: 1e-13, Scale: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("NelderMead: %v", err)
+	}
+
+	fixedPoint := objective(append(append([]float64(nil), sol.X...), sol.N))
+	simplex := objective(best)
+
+	// The fixed-point solution must be at least as good as what the
+	// simplex found (within numerical slack), and the located scales must
+	// agree.
+	if fixedPoint > simplex*(1+1e-4) {
+		t.Errorf("fixed-point objective %.8g worse than Nelder-Mead %.8g", fixedPoint, simplex)
+	}
+	if math.Abs(best[4]-sol.N)/sol.N > 0.05 {
+		t.Errorf("scales disagree: fixed point %g vs simplex %g", sol.N, best[4])
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(best[i]-sol.X[i])/sol.X[i] > 0.1 {
+			t.Errorf("x_%d disagrees: fixed point %g vs simplex %g", i+1, sol.X[i], best[i])
+		}
+	}
+}
+
+// TestSingleLevelOptimumCrossCheckedByGrid verifies the Figure 3 solution
+// against a dense 2-D grid scan of the objective.
+func TestSingleLevelOptimumCrossCheckedByGrid(t *testing.T) {
+	s, err := SolveSingleLevelFixedB(fig3Te, fig3Speedup(),
+		overhead.Constant(5), overhead.Constant(5), 0, fig3B, 100000, 1e-8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fig3Speedup()
+	obj := func(x, n float64) float64 {
+		pt := fig3Te / g.Speedup(n)
+		return pt + 5*(x-1) + fig3B*n*(pt/(2*x)+5)
+	}
+	base := obj(s.X, s.N)
+	bestX, bestN, bestV := s.X, s.N, base
+	for xi := 0.5; xi <= 2.0; xi += 0.01 {
+		for ni := 0.5; ni <= 1.2; ni += 0.01 {
+			n := s.N * ni
+			if n > 1e5 {
+				continue
+			}
+			if v := obj(s.X*xi, n); v < bestV {
+				bestX, bestN, bestV = s.X*xi, n, v
+			}
+		}
+	}
+	if bestV < base*(1-1e-6) {
+		t.Errorf("grid found better point (%g, %g): %g < %g", bestX, bestN, bestV, base)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+)
+
+// YoungInterval returns Young's first-order optimal checkpoint period [3]:
+//
+//	τ = sqrt(2·C·MTBF)
+//
+// with C the checkpoint cost and mtbf the mean time between failures, both
+// in seconds. This is the classical single-level rule the SL(ori-scale)
+// baseline embodies.
+func YoungInterval(c, mtbf float64) float64 {
+	if c <= 0 || mtbf <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(2 * c * mtbf)
+}
+
+// DalyInterval returns Daly's higher-order estimate of the optimum
+// checkpoint period [4]:
+//
+//	τ = sqrt(2·C·M)·[1 + (1/3)·sqrt(C/(2M)) + (1/9)·(C/(2M))] − C   for C < 2M
+//	τ = M                                                            otherwise
+//
+// Daly's correction matters exactly where this repository's simulator
+// diverges most from the first-order model: when the checkpoint cost is a
+// non-trivial fraction of the MTBF. It is provided as an additional
+// baseline for interval selection at a fixed level and scale.
+func DalyInterval(c, mtbf float64) float64 {
+	if c <= 0 || mtbf <= 0 {
+		return math.NaN()
+	}
+	if c >= 2*mtbf {
+		return mtbf
+	}
+	r := math.Sqrt(c / (2 * mtbf))
+	return math.Sqrt(2*c*mtbf)*(1+r/3+c/(2*mtbf)/9) - c
+}
+
+// IntervalsFromPeriod converts a checkpoint period (seconds) into the
+// paper's interval-count variable x for a productive time of p seconds,
+// clamped to at least one interval.
+func IntervalsFromPeriod(p, period float64) float64 {
+	if p <= 0 || period <= 0 || math.IsNaN(period) {
+		return 1
+	}
+	x := p / period
+	if x < 1 {
+		return 1
+	}
+	return x
+}

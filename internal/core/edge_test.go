@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// TestOptimizeSingleLevelDegenerate checks that the multilevel machinery
+// at L=1 agrees with the dedicated single-level solver on the same frozen
+// problem.
+func TestOptimizeSingleLevelDegenerate(t *testing.T) {
+	te := 4000.0 * failure.SecondsPerDay
+	g := speedup.Quadratic{Kappa: 0.46, NStar: 1e5}
+	p := &model.Params{
+		Te:      te,
+		Speedup: g,
+		Levels:  overhead.SymmetricLevels([]overhead.Cost{overhead.Constant(5)}, 1.0),
+		Alloc:   0,
+		Rates:   failure.MustParseRates("20", 1e5),
+	}
+	sol, err := Optimize(p, Options{OuterTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve the same frozen problem with the single-level fixed-b solver:
+	// b = λ(1 core)·T at the converged wall clock.
+	b := p.Rates.PerSecondAt(0, 1) * sol.WallClock
+	single, err := SolveSingleLevelFixedB(te, g, overhead.Constant(5), overhead.Constant(5), 0, b, 1e5, 1e-8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multilevel Formula (18) includes the C/2 self-term the
+	// single-level derivation omits; at C=5 s that shifts the optimum only
+	// marginally.
+	if math.Abs(sol.N-single.N)/single.N > 0.02 {
+		t.Errorf("L=1 multilevel N=%g vs single-level N=%g", sol.N, single.N)
+	}
+	if math.Abs(sol.X[0]-single.X)/single.X > 0.05 {
+		t.Errorf("L=1 multilevel x=%g vs single-level x=%g", sol.X[0], single.X)
+	}
+}
+
+// TestOptimizeEightLevels exercises the solver well beyond FTI's four
+// levels: a deep hierarchy must still converge with ordered intervals.
+func TestOptimizeEightLevels(t *testing.T) {
+	costs := make([]overhead.Cost, 8)
+	rates := make([]float64, 8)
+	for i := range costs {
+		costs[i] = overhead.Constant(float64(int(1) << i)) // 1,2,4,...,128 s
+		rates[i] = 64 / float64(int(1)<<i)                 // 64,32,...,0.5 /day
+	}
+	p := &model.Params{
+		Te:      1e6 * failure.SecondsPerDay,
+		Speedup: speedup.Quadratic{Kappa: 0.46, NStar: 1e6},
+		Levels:  overhead.SymmetricLevels(costs, 0.5),
+		Alloc:   60,
+		Rates:   failure.Rates{PerDay: rates, Baseline: 1e6},
+	}
+	sol, err := Optimize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged || len(sol.X) != 8 {
+		t.Fatalf("solution: %+v", sol)
+	}
+	for i := 1; i < 8; i++ {
+		if sol.X[i] > sol.X[i-1]*1.01 {
+			t.Errorf("interval counts not ordered at level %d: %v", i+1, sol.X)
+		}
+	}
+	// Stationarity across all eight levels.
+	mu := p.MuOfN(sol.N, sol.WallClock)
+	for i := range sol.X {
+		if rel := math.Abs(p.GradX(sol.X, sol.N, mu, i)) * sol.X[i] / sol.WallClock; rel > 1e-3 {
+			t.Errorf("∂E/∂x_%d relative %g", i+1, rel)
+		}
+	}
+}
+
+// TestOptimizeZeroRateLevel checks a level whose failure class never
+// fires: its interval count must collapse to 1 (no checkpoints).
+func TestOptimizeZeroRateLevel(t *testing.T) {
+	p := paperParams(3e6, "16-12-0-4")
+	sol, err := Optimize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[2] != 1 {
+		t.Errorf("zero-rate level has x = %g, want 1", sol.X[2])
+	}
+	// Other levels still optimized.
+	if sol.X[0] <= 1 || sol.X[3] <= 1 {
+		t.Errorf("active levels collapsed: %v", sol.X)
+	}
+}
+
+// TestOptimizeTinyWorkload exercises the x >= 1 clamps: a workload so
+// small that checkpointing is pointless.
+func TestOptimizeTinyWorkload(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	p.Te = 10 * failure.SecondsPerDay // 10 core-days: seconds of parallel work
+	sol, err := Optimize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range sol.X {
+		if x < 1 {
+			t.Errorf("x_%d = %g < 1", i+1, x)
+		}
+	}
+	if sol.WallClock <= 0 {
+		t.Errorf("wall clock %g", sol.WallClock)
+	}
+}
+
+// TestOptimizeLinearSpeedupBoundary: with linear speedup and mild failure
+// rates the optimum can sit at the scale ceiling.
+func TestOptimizeLinearSpeedupBoundary(t *testing.T) {
+	p := paperParams(3e6, "0.1-0.1-0.1-0.1")
+	p.Speedup = speedup.Linear{Kappa: 0.46, MaxScale: 2e5}
+	sol, err := Optimize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.N < 1.9e5 {
+		t.Errorf("mild failures with linear speedup should use the whole machine: N=%g", sol.N)
+	}
+}

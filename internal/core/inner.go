@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlckpt/internal/model"
+	"mlckpt/internal/numopt"
+)
+
+// SolveInner performs the inner convex solve of Algorithm 1 (line 5): with
+// the expected failure counts frozen as μ_i(N) = b_i·N (b_i derived from
+// the wall-clock estimate tEst), it alternates
+//
+//   - per-level interval updates from the stationarity condition of
+//     Formula (23):
+//     x_i = sqrt( μ_i·(T_e/g + Σ_{j<i}C_j·x_j) / (2·C_i·(1 + ½Σ_{j>i}μ_j/x_j)) )
+//   - a scale update solving ∂E(T_w)/∂N = 0 (Formula 24) by bisecting every
+//     sign change on [ScaleFloor, N^(*)] and taking the argmin over the
+//     stationary points, the endpoints, and any cost-saturation caps. On
+//     cap-free problems the derivative is monotone and this reduces to the
+//     paper's single bisection; if the derivative is still negative at
+//     N^(*), the optimum is N^(*) itself (the "very few failures" case).
+//
+// until both stabilize. It returns the interval counts, the scale, and the
+// iterations used.
+func SolveInner(p *model.Params, tEst, nInit float64, opts Options) ([]float64, float64, int, error) {
+	opts = opts.withDefaults()
+	L := p.L()
+	b := p.BOfT(tEst)
+
+	n := nInit
+	ceiling := p.Speedup.IdealScale()
+	if opts.MaxScale > 0 && opts.MaxScale < ceiling {
+		ceiling = opts.MaxScale
+	}
+	if opts.FixedN > 0 {
+		n = opts.FixedN
+	}
+	if n <= 0 || n > ceiling {
+		n = ceiling
+	}
+
+	// Young initialization (Formula 25).
+	x := make([]float64, L)
+	mu := muAt(b, n)
+	for i := range x {
+		x[i] = p.YoungX(n, mu, i)
+	}
+
+	for iter := 1; iter <= opts.InnerMaxIter; iter++ {
+		prevX := append([]float64(nil), x...)
+		prevN := n
+		// High failure rates couple x and N strongly enough that the bare
+		// alternation can contract very slowly; once it has clearly not
+		// converged quickly, blend each update with the previous iterate.
+		damp := 0.0
+		if iter > 50 {
+			damp = 0.5
+		}
+
+		mu = muAt(b, n)
+		pt := p.ProductiveTime(n)
+		// Interval sweep, lowest level first so the Σ_{j<i}C_j·x_j prefix
+		// uses current-iteration values (Gauss–Seidel style, which
+		// converges in fewer sweeps than Jacobi here).
+		for i := 0; i < L; i++ {
+			ci := p.Levels[i].Checkpoint.At(n)
+			if ci <= 0 || mu[i] <= 0 {
+				x[i] = 1
+				continue
+			}
+			prefix := pt
+			for j := 0; j < i; j++ {
+				prefix += p.Levels[j].Checkpoint.At(n) * x[j]
+			}
+			suffix := 0.0
+			for j := i + 1; j < L; j++ {
+				suffix += mu[j] / x[j]
+			}
+			v := math.Sqrt(mu[i] * prefix / (2 * ci * (1 + suffix/2)))
+			if v < 1 || math.IsNaN(v) {
+				v = 1
+			}
+			x[i] = (1-damp)*v + damp*x[i]
+		}
+
+		if opts.FixedN <= 0 {
+			nNew, err := solveScale(p, x, b, opts, ceiling)
+			if err != nil {
+				return x, n, iter, err
+			}
+			n = (1-damp)*nNew + damp*n
+		}
+
+		worst := math.Abs(n-prevN) / (1 + math.Abs(prevN))
+		for i := range x {
+			if d := math.Abs(x[i]-prevX[i]) / (1 + math.Abs(prevX[i])); d > worst {
+				worst = d
+			}
+		}
+		if worst <= opts.InnerTol {
+			return x, n, iter, nil
+		}
+	}
+	return x, n, opts.InnerMaxIter, fmt.Errorf("%w: inner solve after %d iterations", ErrNoConverge, opts.InnerMaxIter)
+}
+
+// solveScale finds the root of ∂E/∂N on [floor, ceiling] for fixed x.
+func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) (float64, error) {
+	grad := func(n float64) float64 {
+		if opts.NumericGradN {
+			f := func(v float64) float64 {
+				return p.WallClock(x, v, muAt(b, v))
+			}
+			return numopt.DerivativeStep(f, n, math.Max(1, n*1e-6))
+		}
+		return p.GradN(x, n, b)
+	}
+	lo := opts.ScaleFloor
+	hi := ceiling
+	// Candidate optima: the interval endpoints, every stationary point of
+	// the gradient, and any cost-saturation caps. A saturation kink can
+	// split the objective into two convex branches, each with its own
+	// stationary point, so a single bisection is not enough: scan a grid
+	// for every sign change and bisect each bracket, then take the argmin.
+	candidates := []float64{lo, hi}
+	for _, lv := range p.Levels {
+		for _, cap := range []float64{lv.Checkpoint.Cap, lv.Recovery.Cap} {
+			if cap > lo && cap < hi {
+				candidates = append(candidates, cap)
+			}
+		}
+	}
+	const gridN = 64
+	prev := lo
+	gPrev := grad(lo)
+	if math.IsNaN(gPrev) || math.IsInf(gPrev, -1) {
+		// The finite-difference stencil stepped below the floor where the
+		// objective is infinite; the objective always falls away from
+		// N = 0, so treat the floor gradient as negative.
+		gPrev = -1
+	}
+	for k := 1; k <= gridN; k++ {
+		cur := lo + (hi-lo)*float64(k)/gridN
+		gCur := grad(cur)
+		if gPrev < 0 && gCur >= 0 {
+			// Bisection well below the fixed-point tolerance (the paper
+			// stops at error < 0.5 for integral N and rounds; a coarser
+			// tolerance would jitter successive iterates and stall the
+			// outer fixed point at small scales).
+			res, err := numopt.Bisect(grad, prev, cur, 1e-4, 200)
+			if err == nil {
+				candidates = append(candidates, res.Root)
+			} else if !errors.Is(err, numopt.ErrNoBracket) {
+				return 0, fmt.Errorf("%w: scale bisection: %v", ErrDiverged, err)
+			}
+		}
+		prev, gPrev = cur, gCur
+	}
+	best, bestE := candidates[0], math.Inf(1)
+	for _, n := range candidates {
+		if e := p.WallClock(x, n, muAt(b, n)); e < bestE {
+			best, bestE = n, e
+		}
+	}
+	return best, nil
+}
+
+func muAt(b []float64, n float64) []float64 {
+	mu := make([]float64, len(b))
+	for i := range b {
+		mu[i] = b[i] * n
+	}
+	return mu
+}

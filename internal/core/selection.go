@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+)
+
+// SubsetOutcome records the evaluation of one level subset during
+// selection.
+type SubsetOutcome struct {
+	Enabled   []bool
+	WallClock float64 // expected wall clock, seconds (+Inf if diverged)
+	Solution  Solution
+	Err       error
+}
+
+// LevelSelection is the result of SelectLevels.
+type LevelSelection struct {
+	// Enabled marks the chosen levels of the ORIGINAL problem.
+	Enabled []bool
+	// Solution is the optimum of the reduced problem (its X indexes only
+	// the enabled levels, lowest first).
+	Solution Solution
+	// X maps the reduced solution back onto the original levels (disabled
+	// levels get x = 1, i.e. no checkpoints).
+	X []float64
+	// Evaluated holds every candidate subset for diagnostics.
+	Evaluated []SubsetOutcome
+}
+
+// SelectLevels extends the interval+scale optimization with the level
+// selection of the authors' prior work ([22] in the paper): it searches
+// all subsets of checkpoint levels that include the top (PFS) level —
+// the only one able to recover its own failure class — optimizes each
+// reduced problem with Algorithm 1, and returns the subset with the
+// smallest expected wall clock.
+//
+// When a level is disabled, its failure class does not disappear: those
+// failures must be recovered from the next enabled level above, so the
+// reduced problem folds each disabled class's rate into that level.
+func SelectLevels(p *model.Params, opts Options) (LevelSelection, error) {
+	if err := p.Validate(); err != nil {
+		return LevelSelection{}, err
+	}
+	L := p.L()
+	if L > 16 {
+		return LevelSelection{}, fmt.Errorf("%w: %d levels is beyond the exhaustive search", model.ErrParams, L)
+	}
+	best := LevelSelection{}
+	bestWCT := math.Inf(1)
+	// Enumerate subsets of the lower L-1 levels; the top level is pinned.
+	for mask := 0; mask < 1<<(L-1); mask++ {
+		enabled := make([]bool, L)
+		enabled[L-1] = true
+		for i := 0; i < L-1; i++ {
+			enabled[i] = mask&(1<<i) != 0
+		}
+		reduced, err := ReduceLevels(p, enabled)
+		if err != nil {
+			return LevelSelection{}, err
+		}
+		out := SubsetOutcome{Enabled: append([]bool(nil), enabled...)}
+		sol, err := Optimize(reduced, opts)
+		if err != nil {
+			out.WallClock = math.Inf(1)
+			out.Err = err
+		} else {
+			out.WallClock = sol.WallClock
+			out.Solution = sol
+		}
+		best.Evaluated = append(best.Evaluated, out)
+		if out.WallClock < bestWCT {
+			bestWCT = out.WallClock
+			best.Enabled = out.Enabled
+			best.Solution = out.Solution
+		}
+	}
+	if math.IsInf(bestWCT, 1) {
+		return best, fmt.Errorf("%w: no level subset converged", ErrDiverged)
+	}
+	// Map the reduced schedule back to the original levels.
+	best.X = make([]float64, L)
+	for i := range best.X {
+		best.X[i] = 1
+	}
+	xi := 0
+	for i, on := range best.Enabled {
+		if on {
+			best.X[i] = best.Solution.X[xi]
+			xi++
+		}
+	}
+	return best, nil
+}
+
+// ReduceLevels builds the reduced problem for an enabled-level subset:
+// only the enabled levels' cost models remain, and each disabled class's
+// failure rate is folded into the lowest enabled level at or above it.
+// The top level must be enabled.
+func ReduceLevels(p *model.Params, enabled []bool) (*model.Params, error) {
+	L := p.L()
+	if len(enabled) != L {
+		return nil, fmt.Errorf("%w: %d flags for %d levels", model.ErrParams, len(enabled), L)
+	}
+	if !enabled[L-1] {
+		return nil, fmt.Errorf("%w: the top level cannot be disabled", model.ErrParams)
+	}
+	var levels []overhead.Level
+	var rates []float64
+	// escalate[i]: index in the reduced problem that absorbs class i.
+	for i := 0; i < L; i++ {
+		if enabled[i] {
+			levels = append(levels, p.Levels[i])
+			rates = append(rates, 0)
+		}
+	}
+	ri := -1
+	reducedIdx := make([]int, L)
+	for i := 0; i < L; i++ {
+		if enabled[i] {
+			ri++
+		}
+		reducedIdx[i] = ri
+	}
+	// A class lands at the lowest enabled level >= it: scan upward.
+	for i := 0; i < L; i++ {
+		target := -1
+		for j := i; j < L; j++ {
+			if enabled[j] {
+				target = reducedIdx[j]
+				break
+			}
+		}
+		rates[target] += p.Rates.PerDay[i]
+	}
+	out := *p
+	out.Levels = levels
+	out.Rates = failure.Rates{PerDay: rates, Baseline: p.Rates.Baseline}
+	return &out, nil
+}

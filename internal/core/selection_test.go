@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+func TestReduceLevelsFoldsRates(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	// Disable levels 2 and 3: classes 2 and 3 escalate to level 4.
+	reduced, err := ReduceLevels(p, []bool{true, false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.L() != 2 {
+		t.Fatalf("levels = %d", reduced.L())
+	}
+	if reduced.Rates.PerDay[0] != 16 {
+		t.Errorf("class 1 rate = %g", reduced.Rates.PerDay[0])
+	}
+	if reduced.Rates.PerDay[1] != 12+8+4 {
+		t.Errorf("folded top rate = %g, want 24", reduced.Rates.PerDay[1])
+	}
+	// Cost models carried over from the enabled levels.
+	if reduced.Levels[0].Checkpoint.At(1e5) != p.Levels[0].Checkpoint.At(1e5) {
+		t.Error("level-1 cost lost")
+	}
+	if reduced.Levels[1].Checkpoint.At(1e5) != p.Levels[3].Checkpoint.At(1e5) {
+		t.Error("level-4 cost lost")
+	}
+	// Original untouched.
+	if p.L() != 4 || p.Rates.PerDay[3] != 4 {
+		t.Error("caller's params mutated")
+	}
+}
+
+func TestReduceLevelsDisableFirst(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	// Disabling level 1 escalates transient failures to level 2.
+	reduced, err := ReduceLevels(p, []bool{false, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.L() != 3 {
+		t.Fatalf("levels = %d", reduced.L())
+	}
+	if reduced.Rates.PerDay[0] != 16+12 {
+		t.Errorf("level-2 rate = %g, want 28", reduced.Rates.PerDay[0])
+	}
+}
+
+func TestReduceLevelsErrors(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	if _, err := ReduceLevels(p, []bool{true, true}); err == nil {
+		t.Error("wrong flag count accepted")
+	}
+	if _, err := ReduceLevels(p, []bool{true, true, true, false}); err == nil {
+		t.Error("disabling the top level accepted")
+	}
+}
+
+func TestSelectLevelsKeepsAllWhenAllPayOff(t *testing.T) {
+	// With the paper's cost structure every level earns its keep: the
+	// full subset should win (or tie within numeric noise).
+	p := paperParams(3e6, "16-12-8-4")
+	sel, err := SelectLevels(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Evaluated) != 8 {
+		t.Fatalf("evaluated %d subsets, want 8", len(sel.Evaluated))
+	}
+	full, err := Optimize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Solution.WallClock > full.WallClock*1.0001 {
+		t.Errorf("selection %g worse than the full subset %g", sel.Solution.WallClock, full.WallClock)
+	}
+	if len(sel.X) != 4 {
+		t.Fatalf("X = %v", sel.X)
+	}
+}
+
+func TestSelectLevelsDropsUselessLevel(t *testing.T) {
+	// A level with zero failures of its own class and a non-trivial cost
+	// is pure overhead... unless it still shelters higher-class rollback.
+	// Make level 2 expensive AND failure-free: selection must disable it.
+	p := &model.Params{
+		Te:      1e5 * failure.SecondsPerDay,
+		Speedup: speedup.Quadratic{Kappa: 0.5, NStar: 1e5},
+		Levels: overhead.SymmetricLevels([]overhead.Cost{
+			overhead.Constant(1),
+			overhead.Constant(500), // absurdly expensive
+			overhead.Constant(8),
+			overhead.Constant(30),
+		}, 0.5),
+		Alloc: 60,
+		Rates: failure.MustParseRates("8-0-2-1", 1e5),
+	}
+	sel, err := SelectLevels(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Enabled[1] {
+		t.Errorf("expensive failure-free level kept: %v", sel.Enabled)
+	}
+	if sel.X[1] != 1 {
+		t.Errorf("disabled level has x = %g", sel.X[1])
+	}
+	// And it must beat the all-levels solution.
+	full, err := Optimize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Solution.WallClock >= full.WallClock {
+		t.Errorf("selection %g not better than full %g", sel.Solution.WallClock, full.WallClock)
+	}
+}
+
+func TestSelectLevelsTopAlwaysEnabled(t *testing.T) {
+	p := paperParams(3e6, "8-6-4-2")
+	sel, err := SelectLevels(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range sel.Evaluated {
+		if !out.Enabled[3] {
+			t.Fatal("a subset without the top level was evaluated")
+		}
+	}
+	if !sel.Enabled[3] {
+		t.Error("top level not enabled in the winner")
+	}
+}
+
+func TestAccelerateMatchesPlainIteration(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	plain, err := Optimize(p, Options{OuterTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Optimize(p, Options{OuterTol: 1e-12, Accelerate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.WallClock-fast.WallClock)/plain.WallClock > 1e-6 {
+		t.Errorf("accelerated answer drifted: %g vs %g", fast.WallClock, plain.WallClock)
+	}
+	if math.Abs(plain.N-fast.N)/plain.N > 1e-4 {
+		t.Errorf("accelerated scale drifted: %g vs %g", fast.N, plain.N)
+	}
+	if fast.OuterIterations >= plain.OuterIterations {
+		t.Errorf("Aitken did not help: %d vs %d iterations", fast.OuterIterations, plain.OuterIterations)
+	}
+	t.Logf("outer iterations: plain %d, accelerated %d", plain.OuterIterations, fast.OuterIterations)
+}
+
+func TestAccelerateAcrossScenarios(t *testing.T) {
+	for _, spec := range []string{"8-6-4-2", "4-3-2-1", "32-24-16-8"} {
+		p := paperParams(3e6, spec)
+		plain, err := Optimize(p, Options{OuterTol: 1e-12})
+		if err != nil {
+			t.Fatalf("%s plain: %v", spec, err)
+		}
+		fast, err := Optimize(p, Options{OuterTol: 1e-12, Accelerate: true})
+		if err != nil {
+			t.Fatalf("%s accelerated: %v", spec, err)
+		}
+		if math.Abs(plain.WallClock-fast.WallClock)/plain.WallClock > 1e-6 {
+			t.Errorf("%s: answers differ: %g vs %g", spec, plain.WallClock, fast.WallClock)
+		}
+	}
+}

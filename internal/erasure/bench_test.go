@@ -1,0 +1,108 @@
+package erasure
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchShards(k, size int) [][]byte {
+	return makeShards(k, size, 42)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, size := range []int{4 << 10, 256 << 10, 4 << 20} {
+		b.Run(fmt.Sprintf("8+2/%dKiB", size>>10), func(b *testing.B) {
+			c, err := New(8, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := benchShards(8, size)
+			b.SetBytes(int64(8 * size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	c, err := New(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := 256 << 10
+	data := benchShards(8, size)
+	parity, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, 10)
+		for j := range data {
+			shards[j] = data[j]
+		}
+		for j := range parity {
+			shards[8+j] = parity[j]
+		}
+		shards[1], shards[5] = nil, nil // two erasures
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGFMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+// FuzzReconstruct drives random loss patterns through encode/reconstruct
+// and checks the data shards always round-trip when recovery is claimed.
+func FuzzReconstruct(f *testing.F) {
+	f.Add(uint64(1), uint8(2))
+	f.Add(uint64(99), uint8(7))
+	f.Fuzz(func(t *testing.T, seed uint64, lossMask uint8) {
+		c, err := New(6, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := makeShards(6, 64, seed)
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := append(append([][]byte{}, data...), parity...)
+		lost := 0
+		for i := 0; i < 8 && lost < 8; i++ {
+			if lossMask&(1<<i) != 0 {
+				shards[i] = nil
+				lost++
+			}
+		}
+		err = c.Reconstruct(shards)
+		if lost > 2 {
+			if err == nil {
+				t.Fatalf("recovered from %d losses with 2 parity", lost)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("failed with %d losses: %v", lost, err)
+		}
+		for i := 0; i < 6; i++ {
+			for j := range data[i] {
+				if shards[i][j] != data[i][j] {
+					t.Fatalf("shard %d corrupted", i)
+				}
+			}
+		}
+	})
+}

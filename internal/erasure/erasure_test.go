@@ -1,0 +1,285 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mlckpt/internal/stats"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Multiplicative identity and inverse over the whole field.
+	for a := 1; a < 256; a++ {
+		b := byte(a)
+		if Mul(b, 1) != b {
+			t.Fatalf("%d·1 != %d", a, a)
+		}
+		if Mul(b, Inv(b)) != 1 {
+			t.Fatalf("%d·%d⁻¹ != 1", a, a)
+		}
+		if Div(b, b) != 1 {
+			t.Fatalf("%d/%d != 1", a, a)
+		}
+	}
+	// Distributivity spot checks across a sample grid.
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 11 {
+			for c := 0; c < 256; c += 13 {
+				left := Mul(byte(a), Add(byte(b), byte(c)))
+				right := Add(Mul(byte(a), byte(b)), Mul(byte(a), byte(c)))
+				if left != right {
+					t.Fatalf("distributivity fails at (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGFMulCommutativeAssociative(t *testing.T) {
+	for a := 0; a < 256; a += 5 {
+		for b := 0; b < 256; b += 9 {
+			if Mul(byte(a), byte(b)) != Mul(byte(b), byte(a)) {
+				t.Fatalf("commutativity fails at (%d,%d)", a, b)
+			}
+			for c := 0; c < 256; c += 37 {
+				l := Mul(Mul(byte(a), byte(b)), byte(c))
+				r := Mul(byte(a), Mul(byte(b), byte(c)))
+				if l != r {
+					t.Fatalf("associativity fails at (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	if Pow(2, 0) != 1 || Pow(0, 5) != 0 {
+		t.Error("Pow edge cases wrong")
+	}
+	// a^255 = 1 for all non-zero a.
+	for a := 1; a < 256; a++ {
+		if Pow(byte(a), 255) != 1 {
+			t.Fatalf("%d^255 != 1", a)
+		}
+	}
+	// Pow matches repeated Mul.
+	v := byte(1)
+	for n := 0; n < 20; n++ {
+		if Pow(3, n) != v {
+			t.Fatalf("Pow(3,%d) mismatch", n)
+		}
+		v = Mul(v, 3)
+	}
+}
+
+func TestDivInvPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Div(5, 0) },
+		func() { Inv(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewShapeErrors(t *testing.T) {
+	if _, err := New(0, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := New(-1, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("k<0: %v", err)
+	}
+	if _, err := New(200, 100); !errors.Is(err, ErrShape) {
+		t.Errorf("k+m>256: %v", err)
+	}
+	if _, err := New(4, 0); err != nil {
+		t.Errorf("m=0 should be legal (no parity): %v", err)
+	}
+}
+
+func makeShards(k, size int, seed uint64) [][]byte {
+	rng := stats.NewRNG(seed)
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		for j := range out[i] {
+			out[i][j] = byte(rng.Uint64())
+		}
+	}
+	return out
+}
+
+func TestEncodeReconstructAllPatterns(t *testing.T) {
+	// FTI-style group: 4 data + 2 parity. Every loss pattern of up to 2
+	// shards must reconstruct exactly.
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := makeShards(4, 128, 3)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	for a := 0; a < 6; a++ {
+		for b := a; b < 6; b++ {
+			shards := make([][]byte, 6)
+			for i := range shards {
+				shards[i] = append([]byte(nil), full[i]...)
+			}
+			shards[a] = nil
+			shards[b] = nil // a==b: single loss
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("loss (%d,%d): %v", a, b, err)
+			}
+			for i := 0; i < 4; i++ {
+				if !bytes.Equal(shards[i], data[i]) {
+					t.Fatalf("loss (%d,%d): data shard %d corrupted", a, b, i)
+				}
+			}
+			ok, err := c.Verify(shards)
+			if err != nil || !ok {
+				t.Fatalf("loss (%d,%d): verify failed: %v %v", a, b, ok, err)
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyLost(t *testing.T) {
+	c, _ := New(4, 2)
+	data := makeShards(4, 64, 5)
+	parity, _ := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooManyLost) {
+		t.Errorf("err = %v, want ErrTooManyLost", err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, _ := New(3, 2)
+	if _, err := c.Encode(makeShards(2, 16, 1)); !errors.Is(err, ErrShape) {
+		t.Errorf("wrong shard count: %v", err)
+	}
+	bad := makeShards(3, 16, 1)
+	bad[1] = bad[1][:8]
+	if _, err := c.Encode(bad); !errors.Is(err, ErrShardSize) {
+		t.Errorf("ragged shards: %v", err)
+	}
+}
+
+func TestReconstructNoOpWhenComplete(t *testing.T) {
+	c, _ := New(3, 2)
+	data := makeShards(3, 32, 9)
+	parity, _ := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatalf("complete set: %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, _ := New(4, 2)
+	data := makeShards(4, 64, 11)
+	parity, _ := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("clean verify failed: %v %v", ok, err)
+	}
+	shards[2][10] ^= 0x55
+	ok, err = c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestZeroParityCode(t *testing.T) {
+	c, _ := New(4, 0)
+	data := makeShards(4, 16, 13)
+	parity, err := c.Encode(data)
+	if err != nil || len(parity) != 0 {
+		t.Fatalf("m=0 encode: %v, %d parity", err, len(parity))
+	}
+	shards := append([][]byte{}, data...)
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatalf("m=0 complete reconstruct: %v", err)
+	}
+	shards[0] = nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooManyLost) {
+		t.Errorf("m=0 any loss must fail: %v", err)
+	}
+}
+
+// Property: random (k, m) codes with random loss patterns up to m shards
+// always round-trip.
+func TestReconstructProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(4)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		data := makeShards(k, 32, seed^0xABCD)
+		parity, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		shards := append(append([][]byte{}, data...), parity...)
+		lost := rng.Intn(m + 1)
+		for i := 0; i < lost; i++ {
+			shards[rng.Intn(k+m)] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeGroupCode(t *testing.T) {
+	// FTI commonly groups 16 nodes with 4 parity.
+	c, err := New(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := makeShards(16, 1024, 21)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	for _, i := range []int{0, 5, 17, 19} {
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Fatalf("shard %d corrupted", i)
+		}
+	}
+}

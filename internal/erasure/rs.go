@@ -1,0 +1,217 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by the codec.
+var (
+	ErrShape       = errors.New("erasure: invalid code shape")
+	ErrTooManyLost = errors.New("erasure: more shards lost than parity can recover")
+	ErrShardSize   = errors.New("erasure: inconsistent shard sizes")
+	ErrReconstruct = errors.New("erasure: reconstruction failed")
+)
+
+// Code is a Reed–Solomon erasure code with K data shards and M parity
+// shards over GF(2⁸).
+type Code struct {
+	K, M   int
+	matrix [][]byte // M×K Cauchy encoding matrix
+}
+
+// New creates a code with k data and m parity shards. k+m must not exceed
+// 256 (the field size limits distinct Cauchy points).
+func New(k, m int) (*Code, error) {
+	if k <= 0 || m < 0 || k+m > 256 {
+		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrShape, k, m)
+	}
+	c := &Code{K: k, M: m}
+	// Cauchy matrix: rows indexed by x_i = k+i, columns by y_j = j, with
+	// entry 1/(x_i ⊕ y_j). All points distinct, so every square submatrix
+	// of the stacked [I; C] generator is invertible.
+	c.matrix = make([][]byte, m)
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = Inv(byte(k+i) ^ byte(j))
+		}
+		c.matrix[i] = row
+	}
+	return c, nil
+}
+
+// Encode computes the m parity shards for the given k data shards. All data
+// shards must be the same length. The returned parity shards have that
+// length too.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.K {
+		return nil, fmt.Errorf("%w: %d data shards, want %d", ErrShape, len(data), c.K)
+	}
+	size := -1
+	for _, d := range data {
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return nil, ErrShardSize
+		}
+	}
+	parity := make([][]byte, c.M)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		for j := 0; j < c.K; j++ {
+			mulSliceXor(c.matrix[i][j], data[j], parity[i])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct rebuilds missing shards in place. shards must have length
+// K+M: the first K entries are data shards, the rest parity. A nil entry
+// marks a lost shard. On success every entry is non-nil and the data
+// shards contain the original content.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.K+c.M {
+		return fmt.Errorf("%w: %d shards, want %d", ErrShape, len(shards), c.K+c.M)
+	}
+	size := -1
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+			if size == -1 {
+				size = len(s)
+			} else if len(s) != size {
+				return ErrShardSize
+			}
+		}
+	}
+	if present == c.K+c.M {
+		return nil // nothing to do
+	}
+	if present < c.K {
+		return fmt.Errorf("%w: only %d of %d shards present", ErrTooManyLost, present, c.K)
+	}
+
+	// Build the system: pick K available rows of the generator [I; C] and
+	// invert the corresponding K×K submatrix to recover the data shards.
+	rows := make([][]byte, 0, c.K)
+	rhs := make([][]byte, 0, c.K)
+	for i := 0; i < c.K+c.M && len(rows) < c.K; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		var row []byte
+		if i < c.K {
+			row = make([]byte, c.K)
+			row[i] = 1
+		} else {
+			row = append([]byte(nil), c.matrix[i-c.K]...)
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, shards[i])
+	}
+
+	inv, err := invertMatrix(rows)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrReconstruct, err)
+	}
+
+	// Recover missing data shards: data[j] = Σ inv[j][r]·rhs[r].
+	for j := 0; j < c.K; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for r := 0; r < c.K; r++ {
+			mulSliceXor(inv[j][r], rhs[r], out)
+		}
+		shards[j] = out
+	}
+	// Recompute missing parity shards from the (now complete) data.
+	for i := 0; i < c.M; i++ {
+		if shards[c.K+i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for j := 0; j < c.K; j++ {
+			mulSliceXor(c.matrix[i][j], shards[j], out)
+		}
+		shards[c.K+i] = out
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data shards.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.K+c.M {
+		return false, fmt.Errorf("%w: %d shards, want %d", ErrShape, len(shards), c.K+c.M)
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, fmt.Errorf("%w: nil shard", ErrShardSize)
+		}
+	}
+	parity, err := c.Encode(shards[:c.K])
+	if err != nil {
+		return false, err
+	}
+	for i := range parity {
+		got := shards[c.K+i]
+		for j := range parity[i] {
+			if parity[i][j] != got[j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// invertMatrix inverts a square matrix over GF(2⁸) by Gauss–Jordan
+// elimination.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	// Augment with identity.
+	work := make([][]byte, n)
+	for i := range work {
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("row %d has %d entries, want %d", i, len(m[i]), n)
+		}
+		work[i] = make([]byte, 2*n)
+		copy(work[i], m[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("singular matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		// Normalize pivot row.
+		invP := Inv(work[col][col])
+		for j := 0; j < 2*n; j++ {
+			work[col][j] = Mul(work[col][j], invP)
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for j := 0; j < 2*n; j++ {
+				work[r][j] ^= Mul(f, work[col][j])
+			}
+		}
+	}
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = work[i][n:]
+	}
+	return inv, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// Fig1Point is one abscissa of the Figure 1 tradeoff plot.
+type Fig1Point struct {
+	N                float64
+	OriginalSpeedup  float64 // g(N), no failures or checkpoints
+	EffectiveSpeedup float64 // T_e / E(T_w)(N): with checkpoints + failures
+}
+
+// Fig1Result is the Figure 1 reproduction: the conceptual tradeoff between
+// execution speedup and checkpoint overhead — the effective performance
+// curve peaks at a smaller scale than the original speedup curve.
+type Fig1Result struct {
+	Points       []Fig1Point
+	PeakOriginal float64 // argmax N of the original speedup
+	PeakWithCkpt float64 // argmax N of the effective speedup
+}
+
+// Fig1 sweeps the scale for a representative single-level configuration
+// (κ=0.46, N^(*)=10^5, C=R=5 s, b=0.005) and locates both peaks.
+func Fig1(points int) Fig1Result {
+	if points < 8 {
+		points = 8
+	}
+	g := speedup.Quadratic{Kappa: 0.46, NStar: 1e5}
+	te := 4000.0 * failure.SecondsPerDay
+	const b = 0.005
+	res := Fig1Result{}
+	bestEff, bestOrig := 0.0, 0.0
+	for i := 1; i <= points; i++ {
+		n := g.NStar * float64(i) / float64(points)
+		// Young-style interval at this scale, then the single-level model.
+		mu := b * n
+		pt := te / g.Speedup(n)
+		x := math.Sqrt(mu * pt / (2 * 5))
+		if x < 1 {
+			x = 1
+		}
+		wct := model.SingleLevelWallClock(te, g, overhead.Constant(5), overhead.Constant(5), 0, b, x, n)
+		p := Fig1Point{
+			N:                n,
+			OriginalSpeedup:  g.Speedup(n),
+			EffectiveSpeedup: te / wct,
+		}
+		res.Points = append(res.Points, p)
+		if p.OriginalSpeedup > bestOrig {
+			bestOrig, res.PeakOriginal = p.OriginalSpeedup, n
+		}
+		if p.EffectiveSpeedup > bestEff {
+			bestEff, res.PeakWithCkpt = p.EffectiveSpeedup, n
+		}
+	}
+	return res
+}
+
+// Render prints the Figure 1 series.
+func (r Fig1Result) Render() string {
+	t := NewTable("Figure 1: speedup vs effective performance under the checkpoint model",
+		"N", "g(N)", "Te/E(Tw)")
+	for _, p := range r.Points {
+		t.Add(p.N, p.OriginalSpeedup, p.EffectiveSpeedup)
+	}
+	t.Add("peak(original)", r.PeakOriginal, "")
+	t.Add("peak(with ckpt)", r.PeakWithCkpt, "")
+	return t.String()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlckpt/internal/core"
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// Fig3Case is one sub-figure of the Figure 3 confirmation study.
+type Fig3Case struct {
+	Name       string
+	Cost       overhead.Cost
+	XStar      float64 // solved optimal interval count (paper: 797 / 140)
+	NStar      float64 // solved optimal scale (paper: 81,746 / 20,215)
+	WallClock  float64 // E(T_w) at the optimum, seconds
+	Iterations int
+	// Sweeps confirming the optimum, as the figure plots:
+	XSweep []SweepPoint // E(T_w) vs x at N = N*
+	NSweep []SweepPoint // E(T_w) vs N at x = x*
+}
+
+// SweepPoint is one point of a 1-D objective sweep.
+type SweepPoint struct {
+	Value     float64
+	WallClock float64
+}
+
+// Fig3Result holds both cost cases.
+type Fig3Result struct {
+	Constant Fig3Case // C(N)=R(N)=5 s
+	Linear   Fig3Case // C(N)=R(N)=5+0.005N s
+}
+
+// Fig3 reproduces the numerical confirmation of Section III-C.2: Heat
+// Distribution speedup (κ=0.46, N^(*)=10^5), 4,000 core-days, b=0.005,
+// x⁰=100,000, tolerance 1e-6.
+func Fig3(sweepPoints int) (Fig3Result, error) {
+	if sweepPoints < 5 {
+		sweepPoints = 5
+	}
+	g := speedup.Quadratic{Kappa: 0.46, NStar: 1e5}
+	te := 4000.0 * failure.SecondsPerDay
+	const b = 0.005
+	run := func(name string, c overhead.Cost) (Fig3Case, error) {
+		sol, err := core.SolveSingleLevelFixedB(te, g, c, c, 0, b, 100000, 1e-6, 10000)
+		if err != nil {
+			return Fig3Case{}, err
+		}
+		fc := Fig3Case{
+			Name: name, Cost: c,
+			XStar: sol.X, NStar: sol.N, WallClock: sol.WallClock,
+			Iterations: sol.Iterations,
+		}
+		for i := 1; i <= sweepPoints; i++ {
+			f := 0.25 + 1.5*float64(i)/float64(sweepPoints)
+			x := sol.X * f
+			fc.XSweep = append(fc.XSweep, SweepPoint{x,
+				model.SingleLevelWallClock(te, g, c, c, 0, b, x, sol.N)})
+			n := sol.N * f
+			if n <= g.IdealScale() {
+				fc.NSweep = append(fc.NSweep, SweepPoint{n,
+					model.SingleLevelWallClock(te, g, c, c, 0, b, sol.X, n)})
+			}
+		}
+		return fc, nil
+	}
+	var res Fig3Result
+	var err error
+	if res.Constant, err = run("constant cost C=R=5s", overhead.Constant(5)); err != nil {
+		return res, err
+	}
+	if res.Linear, err = run("linear cost C=R=5+0.005N", overhead.LinearCost(5, 0.005)); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Render prints both cases.
+func (r Fig3Result) Render() string {
+	out := ""
+	for _, c := range []Fig3Case{r.Constant, r.Linear} {
+		t := NewTable("Figure 3: "+c.Name, "quantity", "value")
+		t.Add("x*", c.XStar)
+		t.Add("N*", c.NStar)
+		t.Add("E(Tw) days", c.WallClock/failure.SecondsPerDay)
+		t.Add("iterations", c.Iterations)
+		out += t.String()
+		s := NewTable("  sweep around the optimum", "x", "E(Tw)|N=N*", "N", "E(Tw)|x=x*")
+		for i := range c.XSweep {
+			nv, nw := "", ""
+			if i < len(c.NSweep) {
+				nv = fmt.Sprintf("%.4g", c.NSweep[i].Value)
+				nw = fmt.Sprintf("%.4g", c.NSweep[i].WallClock)
+			}
+			s.Add(c.XSweep[i].Value, c.XSweep[i].WallClock, nv, nw)
+		}
+		out += s.String() + "\n"
+	}
+	return out
+}

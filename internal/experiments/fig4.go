@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strconv"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/fti"
+	"mlckpt/internal/heat"
+	"mlckpt/internal/model"
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/sim"
+	"mlckpt/internal/speedup"
+	"mlckpt/internal/stats"
+)
+
+// Fig4Point is one interval configuration compared across the two engines.
+type Fig4Point struct {
+	Intervals [fti.Levels]int
+	RealWCT   float64 // mean wall clock of the heat+FTI executions, seconds
+	SimWCT    float64 // mean wall clock of the event-driven simulator, seconds
+	RelErr    float64
+}
+
+// Fig4Result reproduces the simulator-validation study of Figure 4: the
+// same application, checkpoint schedule, and failure rates are executed
+// both as "real" runs (Heat Distribution + the FTI toolkit on the mpisim
+// cluster, the stand-in for the paper's Fusion experiments) and on the
+// abstract exascale simulator; the paper reports <4% discrepancy.
+type Fig4Result struct {
+	Ranks  int
+	Spec   string
+	Points []Fig4Point
+	MaxErr float64
+}
+
+// Fig4 sweeps checkpoint-interval configurations on the four levels.
+// realRuns/simRuns control the averaging (real runs are the expensive
+// side).
+func Fig4(ranks, realRuns, simRuns int) (Fig4Result, error) {
+	if ranks <= 0 {
+		ranks = 32
+	}
+	if realRuns <= 0 {
+		realRuns = 8
+	}
+	if simRuns <= 0 {
+		simRuns = 200
+	}
+	res := Fig4Result{Ranks: ranks, Spec: "48-24-12-6"}
+
+	hcfg := heat.Config{GridX: 256, GridY: 256, Iterations: 400, CellTime: 4e-5, TopTemp: 100}
+	fcfg := fti.DefaultConfig()
+	fcfg.GroupSize = 8
+	fcfg.Parity = 2
+	rates := failure.MustParseRates(res.Spec, float64(ranks))
+	cost := mpisim.DefaultCostModel()
+	const alloc = 5.0
+
+	// Failure-free calibration run: productive time and per-level
+	// checkpoint costs as the simulator will see them.
+	baseWall, err := mpisim.Run(ranks, cost, func(r *mpisim.Rank) {
+		s, err := heat.NewSolver(r, hcfg)
+		if err != nil {
+			panic(err)
+		}
+		s.Run(nil)
+	})
+	if err != nil {
+		return res, err
+	}
+	perNode := 8 * hcfg.GridX * hcfg.GridY / ranks
+	costs := make([]overhead.Cost, fti.Levels)
+	recs := make([]overhead.Cost, fti.Levels)
+	for lvl := 1; lvl <= fti.Levels; lvl++ {
+		c, err := fcfg.Hierarchy.CheckpointTime(lvl, perNode, ranks, fcfg.GroupSize)
+		if err != nil {
+			return res, err
+		}
+		r, err := fcfg.Hierarchy.RecoveryTime(lvl, perNode, ranks, fcfg.GroupSize)
+		if err != nil {
+			return res, err
+		}
+		costs[lvl-1] = overhead.Constant(c)
+		recs[lvl-1] = overhead.Constant(r)
+	}
+	levels := make([]overhead.Level, fti.Levels)
+	for i := range levels {
+		levels[i] = overhead.Level{Checkpoint: costs[i], Recovery: recs[i]}
+	}
+	// A linear speedup model calibrated so that Te/g(ranks) equals the
+	// measured failure-free wall clock.
+	te := hcfg.SerialTime()
+	params := &model.Params{
+		Te:      te,
+		Speedup: speedup.Linear{Kappa: te / baseWall / float64(ranks), MaxScale: float64(ranks)},
+		Levels:  levels,
+		Alloc:   alloc,
+		Rates:   rates,
+	}
+
+	sweeps := [][fti.Levels]int{
+		{16, 8, 4, 2},
+		{32, 16, 8, 4},
+		{64, 32, 16, 8},
+		{24, 6, 3, 2},
+	}
+	rng := stats.NewRNG(4242)
+	for _, iv := range sweeps {
+		// Real side.
+		var realSum float64
+		for run := 0; run < realRuns; run++ {
+			rr, err := RunReal(RealConfig{
+				Ranks:     ranks,
+				Heat:      hcfg,
+				FTI:       fcfg,
+				Intervals: iv,
+				Rates:     rates,
+				Alloc:     alloc,
+				Cost:      cost,
+				Seed:      rng.Uint64(),
+			})
+			if err != nil {
+				return res, err
+			}
+			realSum += rr.WallClock
+		}
+		realMean := realSum / float64(realRuns)
+
+		// Simulator side.
+		x := make([]float64, fti.Levels)
+		for i, v := range iv {
+			x[i] = float64(v)
+		}
+		agg, err := sim.Simulate(sim.Config{
+			Params: params,
+			N:      float64(ranks),
+			X:      x,
+		}, simRuns, rng.Uint64())
+		if err != nil {
+			return res, err
+		}
+		p := Fig4Point{
+			Intervals: iv,
+			RealWCT:   realMean,
+			SimWCT:    agg.WallClock.Mean,
+			RelErr:    stats.RelErr(realMean, agg.WallClock.Mean),
+		}
+		res.Points = append(res.Points, p)
+		if p.RelErr > res.MaxErr {
+			res.MaxErr = p.RelErr
+		}
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r Fig4Result) Render() string {
+	t := NewTable("Figure 4: simulator validation against heat+FTI executions ("+r.Spec+" failures/day)",
+		"intervals x1-x2-x3-x4", "real WCT (s)", "sim WCT (s)", "rel err")
+	for _, p := range r.Points {
+		t.Add(fmtIntervals(p.Intervals), p.RealWCT, p.SimWCT, p.RelErr)
+	}
+	t.Add("max rel err", "", "", r.MaxErr)
+	return t.String()
+}
+
+func fmtIntervals(iv [fti.Levels]int) string {
+	s := ""
+	for i, v := range iv {
+		if i > 0 {
+			s += "-"
+		}
+		s += strconv.Itoa(v)
+	}
+	return s
+}

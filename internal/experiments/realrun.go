@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/fti"
+	"mlckpt/internal/heat"
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/stats"
+)
+
+// ErrReal is returned by the real-execution driver.
+var ErrReal = errors.New("experiments: real run failed")
+
+// RealConfig drives one "real" execution: the Heat Distribution program on
+// the mpisim cluster, checkpointed with the FTI toolkit at all four levels
+// and struck by injected failures. It is the stand-in for the paper's
+// Fusion-cluster experiments that validate the exascale simulator
+// (Figure 4).
+type RealConfig struct {
+	Ranks     int
+	Heat      heat.Config
+	FTI       fti.Config
+	Intervals [fti.Levels]int // x_i: interval counts per level over the run
+	Rates     failure.Rates   // per-level failures/day (baseline = Ranks)
+	Alloc     float64         // allocation period A, seconds
+	Cost      mpisim.CostModel
+	MaxWall   float64 // truncation horizon, seconds
+	Seed      uint64
+	// UseBlocks switches the application to the paper's 2-D block
+	// decomposition (heat.BlockSolver) instead of the 1-D row layout.
+	UseBlocks bool
+}
+
+// segmentApp abstracts the two heat decompositions for the driver.
+type segmentApp interface {
+	Iteration() int
+	Serialize() []byte
+	Restore([]byte) error
+}
+
+func newApp(r *mpisim.Rank, cfg RealConfig) (segmentApp, func(hook func() bool) heat.RunResult, error) {
+	if cfg.UseBlocks {
+		s, err := heat.NewBlockSolver(r, cfg.Heat)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, func(hook func() bool) heat.RunResult {
+			return s.Run(func(*heat.BlockSolver) bool { return hook() })
+		}, nil
+	}
+	s, err := heat.NewSolver(r, cfg.Heat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, func(hook func() bool) heat.RunResult {
+		return s.Run(func(*heat.Solver) bool { return hook() })
+	}, nil
+}
+
+// RealResult is the outcome of one real execution.
+type RealResult struct {
+	WallClock    float64
+	Failures     []int               // per class
+	Recoveries   []int               // recoveries per level used
+	FromScratch  int                 // restarts with no usable checkpoint
+	CkptDuration [fti.Levels]float64 // last observed per-level checkpoint cost
+	Completed    bool
+}
+
+// victims returns the crash pattern of a failure class (0-based level):
+// class 0 is transient (no storage damage); class 1 kills one node; class
+// 2 kills two partner-adjacent nodes (breaking level 2); class 3 kills
+// parity+1 nodes of one group (breaking level 3).
+func victims(class int, cfg RealConfig, rng *stats.RNG) []int {
+	switch class {
+	case 0:
+		return nil
+	case 1:
+		// Avoid adjacency concerns: a single node always leaves level 2
+		// recoverable.
+		return []int{rng.Intn(cfg.Ranks)}
+	case 2:
+		n := rng.Intn(cfg.Ranks - 1)
+		return []int{n, n + 1}
+	default:
+		// Enough losses inside one group to exceed its parity.
+		g := rng.Intn(cfg.Ranks / cfg.FTI.GroupSize)
+		base := g * cfg.FTI.GroupSize
+		count := cfg.FTI.Parity + 1
+		if count > cfg.FTI.GroupSize {
+			count = cfg.FTI.GroupSize
+		}
+		out := make([]int, count)
+		for i := range out {
+			out[i] = base + i
+		}
+		return out
+	}
+}
+
+// RunReal executes the application to completion under injected failures
+// and multilevel recovery, returning the accumulated virtual wall clock.
+func RunReal(cfg RealConfig) (RealResult, error) {
+	if cfg.Ranks <= 0 || cfg.Ranks%cfg.FTI.GroupSize != 0 {
+		return RealResult{}, fmt.Errorf("%w: ranks %d must be a positive multiple of the group size %d",
+			ErrReal, cfg.Ranks, cfg.FTI.GroupSize)
+	}
+	if cfg.MaxWall <= 0 {
+		cfg.MaxWall = 30 * failure.SecondsPerDay
+	}
+	res := RealResult{
+		Failures:   make([]int, cfg.Rates.Levels()),
+		Recoveries: make([]int, fti.Levels),
+	}
+	cluster, err := fti.NewCluster(cfg.Ranks, cfg.FTI)
+	if err != nil {
+		return res, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	proc := failure.NewProcess(cfg.Rates, float64(cfg.Ranks), failure.Exponential, 0, rng.Split())
+
+	// Per-level checkpoint iteration steps; level i checkpoints at
+	// iterations k·step_i (k ≥ 1), the highest due level winning ties.
+	var steps [fti.Levels]int
+	for i, x := range cfg.Intervals {
+		if x < 1 {
+			x = 1
+		}
+		steps[i] = int(math.Ceil(float64(cfg.Heat.Iterations) / float64(x)))
+	}
+	dueLevel := func(iter int) int {
+		if iter <= 0 || iter >= cfg.Heat.Iterations {
+			return 0
+		}
+		for lvl := fti.Levels; lvl >= 1; lvl-- {
+			if cfg.Intervals[lvl-1] > 1 && iter%steps[lvl-1] == 0 {
+				return lvl
+			}
+		}
+		return 0
+	}
+
+	wall := 0.0
+	var snaps [][]byte // recovered per-rank states; nil = fresh start
+	nextFail, haveFail := proc.Next(0)
+
+	for {
+		if wall > cfg.MaxWall {
+			res.WallClock = wall
+			return res, nil
+		}
+		type segOut struct {
+			completed bool
+			failClass int
+			wallLocal float64
+		}
+		out := segOut{failClass: -1}
+		_, err := mpisim.Run(cfg.Ranks, cfg.Cost, func(r *mpisim.Rank) {
+			s, runSeg, err := newApp(r, cfg)
+			if err != nil {
+				panic(err)
+			}
+			if snaps != nil {
+				if err := s.Restore(snaps[r.ID()]); err != nil {
+					panic(err)
+				}
+			}
+			agent := cluster.Attach(r)
+			result := runSeg(func() bool {
+				// Clocks are synchronized by the per-iteration Allreduce,
+				// so every rank sees the same wall time and failure
+				// decision.
+				if haveFail && wall+r.Clock() >= nextFail.Time {
+					if r.ID() == 0 {
+						out.failClass = nextFail.Level
+						out.wallLocal = r.Clock()
+					}
+					return false
+				}
+				if lvl := dueLevel(s.Iteration()); lvl > 0 {
+					d, err := agent.Checkpoint(lvl, s.Serialize())
+					if err != nil {
+						panic(err)
+					}
+					if r.ID() == 0 {
+						res.CkptDuration[lvl-1] = d
+					}
+				}
+				return true
+			})
+			if r.ID() == 0 && out.failClass < 0 {
+				out.completed = true
+				out.wallLocal = result.WallClock
+			}
+		})
+		if err != nil {
+			return res, err
+		}
+		wall += out.wallLocal
+		if out.completed {
+			res.WallClock = wall
+			res.Completed = true
+			return res, nil
+		}
+
+		// Failure handling: storage damage, recovery, resume.
+		res.Failures[out.failClass]++
+		if err := cluster.Crash(victims(out.failClass, cfg, rng)); err != nil {
+			return res, err
+		}
+		wall += cfg.Alloc
+		lvl, _, ok := cluster.BestRecovery()
+		if ok {
+			perNode := 8 * cfg.Heat.GridX * cfg.Heat.GridY / cfg.Ranks
+			rc, err := cluster.RecoveryCost(lvl, perNode)
+			if err != nil {
+				return res, err
+			}
+			wall += rc
+			snaps, err = cluster.Restore(lvl)
+			if err != nil {
+				return res, err
+			}
+			res.Recoveries[lvl-1]++
+		} else {
+			snaps = nil
+			res.FromScratch++
+		}
+		nextFail, haveFail = proc.Next(wall)
+	}
+}

@@ -1,0 +1,131 @@
+// Package experiments defines one reproducible scenario per table and
+// figure of the paper's evaluation (Section IV), shared by the
+// cmd/experiments CLI and the repository's benchmark harness. Each
+// experiment returns structured rows plus a text rendering that mirrors
+// the paper's presentation.
+//
+// Scenario constants follow Section IV-A: quadratic Heat-Distribution
+// speedup with κ = 0.46, ideal scale N^(*) (10^5 in the Figure 3 study,
+// 10^6 in the evaluation), FTI overheads fitted from Table II, failure
+// cases "r1-r2-r3-r4" at baseline N_b = N^(*), exponential interarrivals,
+// ±30% overhead jitter, and means over 100 runs.
+package experiments
+
+import (
+	"mlckpt/internal/core"
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/sim"
+	"mlckpt/internal/speedup"
+)
+
+// FailureCases are the six per-level failures-per-day scenarios of
+// Figures 5–7 and Table III.
+var FailureCases = []string{
+	"16-12-8-4", "8-6-4-2", "4-3-2-1", "16-8-4-2", "8-4-2-1", "4-2-1-0.5",
+}
+
+// Tab4Cases are the three scenarios of Table IV.
+var Tab4Cases = []string{"16-12-8-4", "8-6-4-2", "4-3-2-1"}
+
+// Scenario bundles everything a sweep needs.
+type Scenario struct {
+	TeCoreDays float64 // workload in core-days
+	NStar      float64 // ideal scale N^(*) and failure baseline N_b
+	Kappa      float64 // speedup slope at the origin
+	Costs      []overhead.Cost
+	RecFactor  float64 // recovery cost = RecFactor × checkpoint cost
+	Alloc      float64 // allocation period A, seconds
+	Spec       string  // failure case, e.g. "16-12-8-4"
+	Jitter     float64 // overhead jitter ratio for the simulator
+	Runs       int     // simulation repetitions
+	MaxDays    float64 // simulator truncation horizon, days
+	Seed       uint64
+}
+
+// EvalScenario is the Figure 5/6/7 + Table III configuration for a given
+// workload and failure case.
+func EvalScenario(teCoreDays float64, spec string) Scenario {
+	return Scenario{
+		TeCoreDays: teCoreDays,
+		NStar:      1e6,
+		Kappa:      0.46,
+		Costs:      overhead.ExascaleCosts(),
+		RecFactor:  0.5,
+		Alloc:      60,
+		Spec:       spec,
+		Jitter:     0.3,
+		Runs:       100,
+		MaxDays:    3000,
+		Seed:       20140701,
+	}
+}
+
+// Tab4Scenario is the constant-PFS-cost configuration of Table IV: level
+// costs 50/100/200/2000 s, Te = 2M core-days. The paper prints two blocks
+// without naming the second knob; we take recovery = checkpoint for block
+// A and recovery = checkpoint/2 for block B (documented in EXPERIMENTS.md).
+func Tab4Scenario(spec string, recFactor float64) Scenario {
+	s := EvalScenario(2e6, spec)
+	s.Costs = []overhead.Cost{
+		overhead.Constant(50),
+		overhead.Constant(100),
+		overhead.Constant(200),
+		overhead.Constant(2000),
+	}
+	s.RecFactor = recFactor
+	return s
+}
+
+// Params materializes the analytic model parameters.
+func (s Scenario) Params() *model.Params {
+	return &model.Params{
+		Te:      s.TeCoreDays * failure.SecondsPerDay,
+		Speedup: speedup.Quadratic{Kappa: s.Kappa, NStar: s.NStar},
+		Levels:  overhead.SymmetricLevels(s.Costs, s.RecFactor),
+		Alloc:   s.Alloc,
+		Rates:   failure.MustParseRates(s.Spec, s.NStar),
+	}
+}
+
+// PolicyOutcome is one (policy, scenario) evaluation: the solver's plan and
+// the simulated execution statistics.
+type PolicyOutcome struct {
+	Policy    core.Policy
+	Solution  core.Solution
+	X         []float64 // full per-level schedule fed to the simulator
+	Aggregate sim.Aggregate
+}
+
+// WallClockDays returns the mean simulated wall clock in days.
+func (o PolicyOutcome) WallClockDays() float64 {
+	return o.Aggregate.WallClock.Mean / failure.SecondsPerDay
+}
+
+// Efficiency returns the paper's efficiency metric from the simulated mean.
+func (o PolicyOutcome) Efficiency(teCoreDays float64) float64 {
+	return model.Efficiency(teCoreDays*failure.SecondsPerDay, o.Aggregate.WallClock.Mean, o.Solution.N)
+}
+
+// RunPolicy solves the policy on the scenario and simulates its schedule.
+func RunPolicy(s Scenario, pol core.Policy) (PolicyOutcome, error) {
+	p := s.Params()
+	sol, err := pol.Solve(p, core.Options{})
+	if err != nil {
+		return PolicyOutcome{}, err
+	}
+	x := pol.ExpandX(p, sol)
+	cfg := sim.Config{
+		Params:       p,
+		N:            sol.N,
+		X:            x,
+		JitterRatio:  s.Jitter,
+		MaxWallClock: s.MaxDays * failure.SecondsPerDay,
+	}
+	agg, err := sim.Simulate(cfg, s.Runs, s.Seed^uint64(pol+1)*0x9E37)
+	if err != nil {
+		return PolicyOutcome{}, err
+	}
+	return PolicyOutcome{Policy: pol, Solution: sol, X: x, Aggregate: agg}, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlckpt/internal/core"
+	"mlckpt/internal/failure"
+	"mlckpt/internal/overhead"
+)
+
+// SensRow is one knob setting of the sensitivity study.
+type SensRow struct {
+	Knob      string
+	Value     float64
+	N         float64 // optimized scale
+	X4        int     // optimized PFS interval count
+	WallClock float64 // model E(T_w), days
+}
+
+// SensResult studies how the optimum responds to the knobs the paper does
+// not publish — the allocation period A, the recovery-cost factor, and the
+// PFS saturation cap (DESIGN.md's documented assumptions). A robust
+// reproduction should show the optimal scale moving smoothly and modestly
+// across plausible settings.
+type SensResult struct {
+	Spec string
+	Rows []SensRow
+}
+
+// Sensitivity runs the sweep on one failure case.
+func Sensitivity(spec string) (SensResult, error) {
+	res := SensResult{Spec: spec}
+	run := func(knob string, value float64, mutate func(*Scenario)) error {
+		sc := EvalScenario(3e6, spec)
+		mutate(&sc)
+		sol, err := core.MLOptScale.Solve(sc.Params(), core.Options{})
+		if err != nil {
+			return fmt.Errorf("%s=%g: %w", knob, value, err)
+		}
+		res.Rows = append(res.Rows, SensRow{
+			Knob: knob, Value: value,
+			N:         sol.N,
+			X4:        sol.Intervals()[3],
+			WallClock: sol.WallClock / failure.SecondsPerDay,
+		})
+		return nil
+	}
+	for _, a := range []float64{0, 60, 300, 600} {
+		v := a
+		if err := run("alloc A (s)", v, func(sc *Scenario) { sc.Alloc = v }); err != nil {
+			return res, err
+		}
+	}
+	for _, rf := range []float64{0.25, 0.5, 1.0} {
+		v := rf
+		if err := run("recovery factor", v, func(sc *Scenario) { sc.RecFactor = v }); err != nil {
+			return res, err
+		}
+	}
+	for _, cap := range []float64{131072, 262144, 524288} {
+		v := cap
+		if err := run("PFS saturation cap", v, func(sc *Scenario) {
+			costs := overhead.FusionFittedCosts()
+			costs[3].Cap = v
+			sc.Costs = costs
+		}); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r SensResult) Render() string {
+	t := NewTable("Sensitivity of the optimum to unpublished knobs ("+r.Spec+", Te=3m core-days)",
+		"knob", "value", "N* (k cores)", "x4", "E(Tw) (days)")
+	for _, row := range r.Rows {
+		t.Add(row.Knob, row.Value, row.N/1000, row.X4, row.WallClock)
+	}
+	return t.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlckpt/internal/fti"
+	"mlckpt/internal/heat"
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/overhead"
+)
+
+// Tab2Result reproduces Table II: FTI checkpoint overheads per level
+// measured at several execution scales, plus the least-squares cost-model
+// coefficients (ε_i, α_i) fitted from them.
+type Tab2Result struct {
+	Scales []int
+	Costs  [][]float64 // [scale][level] seconds
+	Fitted []overhead.Cost
+	// Published is the paper's own fit for reference:
+	// (0.866,0)(2.586,0)(3.886,0)(5.5,0.0212).
+	Published []overhead.Cost
+}
+
+// Tab2 measures checkpoint overheads by running the Heat Distribution
+// program under FTI on the simulated cluster at each scale and timing one
+// checkpoint per level (strong scaling: fixed global problem).
+func Tab2(scales []int) (Tab2Result, error) {
+	if len(scales) == 0 {
+		scales = []int{128, 256, 384, 512, 1024}
+	}
+	res := Tab2Result{Scales: scales, Published: overhead.FusionFittedCosts()}
+	fcfg := fti.DefaultConfig()
+
+	for _, n := range scales {
+		hcfg := heat.Config{GridX: 1024, GridY: 1024, Iterations: 5, CellTime: 1e-7, TopTemp: 100}
+		cluster, err := fti.NewCluster(n, fcfg)
+		if err != nil {
+			return res, err
+		}
+		durs := make([]float64, fti.Levels)
+		_, err = mpisim.Run(n, mpisim.DefaultCostModel(), func(r *mpisim.Rank) {
+			s, err := heat.NewSolver(r, hcfg)
+			if err != nil {
+				panic(err)
+			}
+			agent := cluster.Attach(r)
+			s.Run(func(s *heat.Solver) bool {
+				it := s.Iteration()
+				if it >= 1 && it <= fti.Levels {
+					d, err := agent.Checkpoint(it, s.Serialize())
+					if err != nil {
+						panic(err)
+					}
+					if r.ID() == 0 {
+						durs[it-1] = d
+					}
+				}
+				return true
+			})
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Costs = append(res.Costs, durs)
+	}
+
+	fitted, err := overhead.Fit(overhead.Characterization{
+		Scales: toF(scales),
+		Costs:  res.Costs,
+	}, overhead.FitOptions{})
+	if err != nil {
+		return res, err
+	}
+	res.Fitted = fitted
+	return res, nil
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Render prints the measured table and the fitted coefficients.
+func (r Tab2Result) Render() string {
+	t := NewTable("Table II: measured FTI checkpoint overhead (seconds)",
+		"exe. scale", "L1", "L2", "L3", "L4")
+	for i, n := range r.Scales {
+		t.Add(fmt.Sprintf("%d cores", n), r.Costs[i][0], r.Costs[i][1], r.Costs[i][2], r.Costs[i][3])
+	}
+	out := t.String()
+	f := NewTable("Fitted cost models C_i(N) = ε_i + α_i·H(N)", "level", "measured fit", "paper's fit")
+	for i, c := range r.Fitted {
+		f.Add(i+1, c.String(), r.Published[i].String())
+	}
+	return out + f.String()
+}

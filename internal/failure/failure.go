@@ -1,0 +1,249 @@
+// Package failure models the per-level failure processes of the multilevel
+// checkpoint model.
+//
+// Each checkpoint level i handles a distinct failure class (Section II):
+// level 1 covers transient/software faults; levels 2..L cover progressively
+// broader hardware-crash scenarios. The paper parameterizes a scenario as
+// "r1-r2-…-rL": r_i failure events per day at level i when running at the
+// baseline scale N_b, with the realized rate growing proportionally with
+// the execution scale (Section IV-A):
+//
+//	λ_i(N) = r_i · N / N_b        [failures/day]
+//
+// Interarrival times are exponential ([37]); a Weibull option exists for
+// the distribution ablation.
+package failure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mlckpt/internal/stats"
+)
+
+// SecondsPerDay converts the paper's failures-per-day rates to SI seconds.
+const SecondsPerDay = 86400.0
+
+// ErrSpec is returned for malformed failure-rate specifications.
+var ErrSpec = errors.New("failure: invalid specification")
+
+// Rates is a per-level failure-rate scenario: Rates.PerDay[i] failure events
+// per day at level i (0-indexed) at the baseline scale Baseline.
+type Rates struct {
+	PerDay   []float64 // failures/day per level at the baseline scale
+	Baseline float64   // N_b: scale at which PerDay was measured
+}
+
+// ParseRates parses the paper's "16-12-8-4" notation into a Rates value at
+// the given baseline scale.
+func ParseRates(spec string, baseline float64) (Rates, error) {
+	if baseline <= 0 {
+		return Rates{}, fmt.Errorf("%w: non-positive baseline %g", ErrSpec, baseline)
+	}
+	parts := strings.Split(strings.TrimSpace(spec), "-")
+	if len(parts) == 0 || parts[0] == "" {
+		return Rates{}, fmt.Errorf("%w: empty spec %q", ErrSpec, spec)
+	}
+	per := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Rates{}, fmt.Errorf("%w: level %d rate %q", ErrSpec, i+1, p)
+		}
+		per[i] = v
+	}
+	return Rates{PerDay: per, Baseline: baseline}, nil
+}
+
+// MustParseRates is ParseRates that panics on error; for tests and tables of
+// literal scenarios.
+func MustParseRates(spec string, baseline float64) Rates {
+	r, err := ParseRates(spec, baseline)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Levels returns the number of levels in the scenario.
+func (r Rates) Levels() int { return len(r.PerDay) }
+
+// PerSecondAt returns λ_i(N) in failures/second at level i (0-indexed) for
+// an execution scale of n cores.
+func (r Rates) PerSecondAt(i int, n float64) float64 {
+	return r.PerDay[i] * n / r.Baseline / SecondsPerDay
+}
+
+// TotalPerSecondAt returns Σ_i λ_i(N) in failures/second: the rate the
+// single-level model experiences, since every failure — whatever its class —
+// forces a PFS-level restart there.
+func (r Rates) TotalPerSecondAt(n float64) float64 {
+	t := 0.0
+	for i := range r.PerDay {
+		t += r.PerSecondAt(i, n)
+	}
+	return t
+}
+
+// ExpectedFailures returns μ_i = λ_i(N)·duration for a wall-clock duration
+// in seconds (Formula 22 under the μ_i(N) condition of Algorithm 1).
+func (r Rates) ExpectedFailures(i int, n, durationSec float64) float64 {
+	return r.PerSecondAt(i, n) * durationSec
+}
+
+// Spec renders the scenario back in the paper's "r1-r2-…" notation.
+func (r Rates) Spec() string {
+	parts := make([]string, len(r.PerDay))
+	for i, v := range r.PerDay {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, "-")
+}
+
+// Distribution selects the interarrival law for sampled failure traces.
+type Distribution int
+
+// Supported interarrival distributions.
+const (
+	Exponential Distribution = iota // memoryless, the paper's default
+	Weibull                         // shape < 1: infant-mortality regime
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Exponential:
+		return "exponential"
+	case Weibull:
+		return "weibull"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// Event is one failure occurrence in a trace.
+type Event struct {
+	Time  float64 // seconds since execution start (wall clock)
+	Level int     // 0-indexed checkpoint level whose class this failure belongs to
+}
+
+// Process samples failure events for one execution at a fixed scale.
+type Process struct {
+	rates Rates
+	scale float64
+	dist  Distribution
+	shape float64 // Weibull shape when dist == Weibull
+	rng   *stats.RNG
+	next  []float64 // next pending arrival per level
+}
+
+// NewProcess creates a sampling process at scale n using the given RNG. For
+// Weibull, shape must be positive; the scale parameter per level is chosen
+// so the mean interarrival matches the exponential case (rate equivalence).
+func NewProcess(r Rates, n float64, dist Distribution, shape float64, rng *stats.RNG) *Process {
+	p := &Process{rates: r, scale: n, dist: dist, shape: shape, rng: rng}
+	p.next = make([]float64, r.Levels())
+	for i := range p.next {
+		p.next[i] = p.sampleInterarrival(i)
+	}
+	return p
+}
+
+func (p *Process) sampleInterarrival(level int) float64 {
+	rate := p.rates.PerSecondAt(level, p.scale)
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	switch p.dist {
+	case Weibull:
+		mean := 1 / rate
+		// Weibull mean = scale·Γ(1+1/shape); match means.
+		scale := mean / math.Gamma(1+1/p.shape)
+		return p.rng.Weibull(scale, p.shape)
+	default:
+		return p.rng.Exponential(rate)
+	}
+}
+
+// Next returns the earliest pending failure event at or after time `from`
+// and schedules that level's next arrival. Levels whose rate is zero never
+// fire. The second return is false when no level can ever fail.
+//
+// For the exponential distribution the process is memoryless, so advancing
+// `from` without consuming events does not bias arrivals; for Weibull the
+// trace should be consumed in order.
+func (p *Process) Next(from float64) (Event, bool) {
+	best, lvl := math.Inf(1), -1
+	for i, t := range p.next {
+		if t < best {
+			best, lvl = t, i
+		}
+	}
+	if lvl < 0 || math.IsInf(best, 1) {
+		return Event{}, false
+	}
+	// Arrivals are absolute times; push the chosen level forward.
+	ev := Event{Time: best, Level: lvl}
+	p.next[lvl] = best + p.sampleInterarrival(lvl)
+	if ev.Time < from {
+		// The caller skipped past this arrival (e.g. failures during an
+		// ignored window); re-issue at the caller's horizon.
+		ev.Time = from
+	}
+	return ev, true
+}
+
+// Trace samples all failures in [0, horizon) and returns them sorted by
+// time. It is used by trace analysis and tests; the simulator consumes
+// events one at a time via Next.
+func Trace(r Rates, n, horizon float64, dist Distribution, shape float64, rng *stats.RNG) []Event {
+	var out []Event
+	for i := range r.PerDay {
+		rate := r.PerSecondAt(i, n)
+		if rate <= 0 {
+			continue
+		}
+		t := 0.0
+		for {
+			var d float64
+			switch dist {
+			case Weibull:
+				mean := 1 / rate
+				scale := mean / math.Gamma(1+1/shape)
+				d = rng.Weibull(scale, shape)
+			default:
+				d = rng.Exponential(rate)
+			}
+			t += d
+			if t >= horizon {
+				break
+			}
+			out = append(out, Event{Time: t, Level: i})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out
+}
+
+// CorrelatedWindows groups a sorted trace into windows of the given length
+// (seconds) and returns the sizes of the groups with at least two events —
+// the "simultaneous failure" clusters of the paper's footnote 1 (window
+// lengths of 1–2 minutes in [17], [18]).
+func CorrelatedWindows(events []Event, window float64) []int {
+	var sizes []int
+	i := 0
+	for i < len(events) {
+		j := i + 1
+		for j < len(events) && events[j].Time-events[i].Time <= window {
+			j++
+		}
+		if j-i >= 2 {
+			sizes = append(sizes, j-i)
+		}
+		i = j
+	}
+	return sizes
+}

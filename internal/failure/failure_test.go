@@ -1,0 +1,242 @@
+package failure
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlckpt/internal/stats"
+)
+
+func TestParseRates(t *testing.T) {
+	r, err := ParseRates("16-12-8-4", 1e6)
+	if err != nil {
+		t.Fatalf("ParseRates: %v", err)
+	}
+	if r.Levels() != 4 {
+		t.Fatalf("levels = %d", r.Levels())
+	}
+	want := []float64{16, 12, 8, 4}
+	for i, w := range want {
+		if r.PerDay[i] != w {
+			t.Errorf("level %d rate = %g, want %g", i+1, r.PerDay[i], w)
+		}
+	}
+	if r.Spec() != "16-12-8-4" {
+		t.Errorf("Spec = %q", r.Spec())
+	}
+}
+
+func TestParseRatesFractional(t *testing.T) {
+	r, err := ParseRates("4-2-1-0.5", 1e6)
+	if err != nil {
+		t.Fatalf("ParseRates: %v", err)
+	}
+	if r.PerDay[3] != 0.5 {
+		t.Errorf("level 4 rate = %g", r.PerDay[3])
+	}
+}
+
+func TestParseRatesErrors(t *testing.T) {
+	cases := []struct {
+		spec     string
+		baseline float64
+	}{
+		{"", 1e6},
+		{"1-x-3", 1e6},
+		{"1--3", 1e6},
+		{"1-2", 0},
+		{"-1-2", 1e6},
+	}
+	for _, tc := range cases {
+		if _, err := ParseRates(tc.spec, tc.baseline); !errors.Is(err, ErrSpec) {
+			t.Errorf("ParseRates(%q, %g) err = %v, want ErrSpec", tc.spec, tc.baseline, err)
+		}
+	}
+}
+
+func TestMustParseRatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseRates did not panic on bad input")
+		}
+	}()
+	MustParseRates("bad", 1e6)
+}
+
+func TestRateScaling(t *testing.T) {
+	r := MustParseRates("8-4-2-1", 1e6)
+	// At the baseline scale the per-second rate is PerDay/86400.
+	if got, want := r.PerSecondAt(0, 1e6), 8.0/86400; math.Abs(got-want) > 1e-15 {
+		t.Errorf("PerSecondAt baseline = %g, want %g", got, want)
+	}
+	// Failure rates increase proportionally with the number of cores.
+	if got, want := r.PerSecondAt(0, 5e5), 4.0/86400; math.Abs(got-want) > 1e-15 {
+		t.Errorf("PerSecondAt half scale = %g, want %g", got, want)
+	}
+	// Total is the sum over levels — the single-level model's rate.
+	if got, want := r.TotalPerSecondAt(1e6), 15.0/86400; math.Abs(got-want) > 1e-15 {
+		t.Errorf("TotalPerSecondAt = %g, want %g", got, want)
+	}
+}
+
+func TestExpectedFailures(t *testing.T) {
+	r := MustParseRates("16-12-8-4", 1e6)
+	// One day at baseline scale: μ_1 = 16.
+	if got := r.ExpectedFailures(0, 1e6, SecondsPerDay); math.Abs(got-16) > 1e-12 {
+		t.Errorf("μ_1 = %g, want 16", got)
+	}
+	// Half scale halves the expectation.
+	if got := r.ExpectedFailures(3, 5e5, SecondsPerDay); math.Abs(got-2) > 1e-12 {
+		t.Errorf("μ_4 at 500k = %g, want 2", got)
+	}
+}
+
+func TestTraceRateRecovery(t *testing.T) {
+	r := MustParseRates("16-12-8-4", 1e6)
+	rng := stats.NewRNG(99)
+	horizon := 30 * SecondsPerDay
+	events := Trace(r, 1e6, horizon, Exponential, 0, rng)
+	counts := make([]float64, 4)
+	for _, e := range events {
+		counts[e.Level]++
+	}
+	for i, want := range []float64{16, 12, 8, 4} {
+		perDay := counts[i] / 30
+		if math.Abs(perDay-want) > 0.15*want {
+			t.Errorf("level %d empirical rate %.2f/day, want %g/day", i+1, perDay, want)
+		}
+	}
+	// Trace must be sorted.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("trace not sorted")
+		}
+	}
+}
+
+func TestTraceZeroRateLevelNeverFires(t *testing.T) {
+	r := MustParseRates("4-0-2", 1e6)
+	rng := stats.NewRNG(7)
+	events := Trace(r, 1e6, 100*SecondsPerDay, Exponential, 0, rng)
+	for _, e := range events {
+		if e.Level == 1 {
+			t.Fatal("zero-rate level produced an event")
+		}
+	}
+}
+
+func TestTraceWeibullMeanMatchesExponential(t *testing.T) {
+	r := MustParseRates("24", 1e6)
+	expN := len(Trace(r, 1e6, 100*SecondsPerDay, Exponential, 0, stats.NewRNG(1)))
+	weiN := len(Trace(r, 1e6, 100*SecondsPerDay, Weibull, 0.7, stats.NewRNG(2)))
+	// Same mean interarrival: counts should agree within sampling noise.
+	if math.Abs(float64(expN-weiN)) > 0.15*float64(expN) {
+		t.Errorf("exponential %d vs weibull %d events over equal horizon", expN, weiN)
+	}
+}
+
+func TestProcessNextOrdering(t *testing.T) {
+	r := MustParseRates("16-12-8-4", 1e6)
+	p := NewProcess(r, 1e6, Exponential, 0, stats.NewRNG(5))
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		ev, ok := p.Next(prev)
+		if !ok {
+			t.Fatal("process dried up")
+		}
+		if ev.Time < prev {
+			t.Fatalf("event %d at %g before horizon %g", i, ev.Time, prev)
+		}
+		if ev.Level < 0 || ev.Level > 3 {
+			t.Fatalf("bad level %d", ev.Level)
+		}
+		prev = ev.Time
+	}
+}
+
+func TestProcessAllZeroRates(t *testing.T) {
+	r := MustParseRates("0-0", 1e6)
+	p := NewProcess(r, 1e6, Exponential, 0, stats.NewRNG(5))
+	if _, ok := p.Next(0); ok {
+		t.Error("zero-rate process produced an event")
+	}
+}
+
+func TestProcessEmpiricalRates(t *testing.T) {
+	r := MustParseRates("8-4", 1e6)
+	p := NewProcess(r, 1e6, Exponential, 0, stats.NewRNG(11))
+	horizon := 200 * SecondsPerDay
+	counts := [2]float64{}
+	t0 := 0.0
+	for {
+		ev, ok := p.Next(t0)
+		if !ok || ev.Time > horizon {
+			break
+		}
+		counts[ev.Level]++
+		t0 = ev.Time
+	}
+	if math.Abs(counts[0]/200-8) > 1 {
+		t.Errorf("level 1 rate %.2f/day, want 8", counts[0]/200)
+	}
+	if math.Abs(counts[1]/200-4) > 0.8 {
+		t.Errorf("level 2 rate %.2f/day, want 4", counts[1]/200)
+	}
+}
+
+func TestCorrelatedWindows(t *testing.T) {
+	events := []Event{
+		{Time: 0}, {Time: 30}, {Time: 45},
+		{Time: 1000},
+		{Time: 5000}, {Time: 5059},
+	}
+	sizes := CorrelatedWindows(events, 60)
+	if len(sizes) != 2 || sizes[0] != 3 || sizes[1] != 2 {
+		t.Errorf("sizes = %v, want [3 2]", sizes)
+	}
+	if s := CorrelatedWindows(nil, 60); s != nil {
+		t.Errorf("empty trace gave %v", s)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Exponential.String() != "exponential" || Weibull.String() != "weibull" {
+		t.Error("distribution names wrong")
+	}
+}
+
+// Property: interarrival times from Process at any positive scale are
+// strictly positive and finite when at least one rate is positive.
+func TestProcessProperty(t *testing.T) {
+	prop := func(seed uint64, scaleRaw float64) bool {
+		scale := 1e3 + math.Abs(math.Mod(scaleRaw, 1e6))
+		r := MustParseRates("2-1", 1e6)
+		p := NewProcess(r, scale, Exponential, 0, stats.NewRNG(seed))
+		t0 := 0.0
+		for i := 0; i < 50; i++ {
+			ev, ok := p.Next(t0)
+			if !ok || ev.Time < t0 || math.IsInf(ev.Time, 0) {
+				return false
+			}
+			t0 = ev.Time
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: doubling the scale roughly doubles the event count over a long
+// horizon (rates proportional to N).
+func TestRateProportionalityProperty(t *testing.T) {
+	r := MustParseRates("8-4-2-1", 1e6)
+	n1 := len(Trace(r, 5e5, 100*SecondsPerDay, Exponential, 0, stats.NewRNG(21)))
+	n2 := len(Trace(r, 1e6, 100*SecondsPerDay, Exponential, 0, stats.NewRNG(22)))
+	ratio := float64(n2) / float64(n1)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("scale doubling produced event ratio %.2f, want ≈2", ratio)
+	}
+}

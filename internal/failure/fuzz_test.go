@@ -1,0 +1,49 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRates ensures the spec parser never panics and that every
+// accepted spec round-trips through Spec().
+func FuzzParseRates(f *testing.F) {
+	f.Add("16-12-8-4")
+	f.Add("4-2-1-0.5")
+	f.Add("")
+	f.Add("---")
+	f.Add("1e3-2")
+	f.Add("-1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		r, err := ParseRates(spec, 1e6)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be well-formed and reproducible.
+		if r.Levels() == 0 {
+			t.Fatalf("accepted spec %q has no levels", spec)
+		}
+		back, err := ParseRates(r.Spec(), 1e6)
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", spec, r.Spec(), err)
+		}
+		if back.Levels() != r.Levels() {
+			t.Fatalf("round trip changed level count")
+		}
+		for i := range r.PerDay {
+			if back.PerDay[i] != r.PerDay[i] {
+				t.Fatalf("round trip changed rate %d", i)
+			}
+		}
+		// Rates never negative; derived quantities finite.
+		for i := range r.PerDay {
+			if r.PerDay[i] < 0 {
+				t.Fatalf("negative rate accepted: %q", spec)
+			}
+			if v := r.PerSecondAt(i, 5e5); v < 0 {
+				t.Fatalf("negative per-second rate")
+			}
+		}
+		_ = strings.Count(spec, "-")
+	})
+}

@@ -1,0 +1,40 @@
+package fti_test
+
+import (
+	"fmt"
+
+	"mlckpt/internal/fti"
+	"mlckpt/internal/mpisim"
+)
+
+// Example checkpoints eight ranks at level 2 (partner copy), loses a node,
+// and restores from the partner copies.
+func Example() {
+	cluster, err := fti.NewCluster(8, fti.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := mpisim.Run(8, mpisim.DefaultCostModel(), func(r *mpisim.Rank) {
+		agent := cluster.Attach(r)
+		if _, err := agent.Checkpoint(2, []byte{byte(r.ID())}); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	if err := cluster.Crash([]int{4}); err != nil {
+		panic(err)
+	}
+	level, _, ok := cluster.BestRecovery()
+	fmt.Printf("recoverable: %v from level %d\n", ok, level)
+
+	data, err := cluster.Restore(level)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rank 4 state recovered: %v\n", data[4][0] == 4)
+	// Output:
+	// recoverable: true from level 2
+	// rank 4 state recovered: true
+}

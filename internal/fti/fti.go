@@ -1,0 +1,497 @@
+// Package fti is a multilevel checkpoint toolkit in the style of FTI [13]:
+// level 1 writes each rank's protected data to its node-local device,
+// level 2 additionally copies it to a partner node, level 3 Reed–Solomon
+// encodes it across an encoding group (internal/erasure does the real GF
+// arithmetic), and level 4 writes to the shared parallel file system.
+//
+// It runs on the mpisim runtime: checkpoint and recovery calls advance the
+// calling rank's virtual clock by the storage model's durations, while the
+// checkpoint *contents* are real bytes held by a Cluster object that
+// survives across mpisim runs. Failure injection works segment-wise: run
+// the application to a failure point, call Cluster.Crash with the dead
+// node set (which destroys exactly the storage a real crash would), ask
+// BestRecovery which level can restore, and restart the application from
+// the recovered bytes — the same usage pattern as FTI on a real machine.
+//
+// Which failures each level survives (Section II of the paper):
+//
+//	level 1: transient/software faults only — any node loss destroys it
+//	level 2: node losses with no two partner-adjacent nodes lost
+//	level 3: up to Parity node losses per encoding group
+//	level 4: anything (the PFS is off-cluster)
+package fti
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mlckpt/internal/erasure"
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/storage"
+)
+
+// Levels is the number of checkpoint levels, as in FTI.
+const Levels = 4
+
+// ErrFTI is returned for invalid configurations and unrecoverable states.
+var ErrFTI = errors.New("fti: error")
+
+// Config parameterizes a Cluster.
+type Config struct {
+	GroupSize int               // RS data shards per encoding group (k)
+	Parity    int               // RS parity shards per group (m)
+	Hierarchy storage.Hierarchy // timing model
+}
+
+// DefaultConfig uses FTI-typical grouping: 8 data + 2 parity.
+func DefaultConfig() Config {
+	return Config{GroupSize: 8, Parity: 2, Hierarchy: storage.DefaultHierarchy()}
+}
+
+type snapshot struct {
+	version int
+	data    []byte
+}
+
+// Cluster holds the persistent checkpoint state of a simulated machine: it
+// outlives individual mpisim runs, so an application can be restarted
+// against it after an injected failure.
+type Cluster struct {
+	mu    sync.Mutex
+	nodes int
+	cfg   Config
+	code  *erasure.Code
+
+	version int // last assigned checkpoint version
+
+	local   []map[int]snapshot // level-1: [rank] -> version snapshot (own device)
+	partner []map[int]snapshot // level-2 partner copy: [rank holding the copy] -> owner's snapshot
+	rsData  []map[int]snapshot // level-3 data shard per rank (on local device)
+	rsPar   map[int][]snapshot // level-3 parity shards per group (on group nodes)
+	rsSizes map[int]int        // level-3 padded shard size per group
+	rsLens  map[int][]int      // level-3 original data lengths per group member
+	pfs     map[int]snapshot   // level-4: [rank] -> snapshot (off-cluster)
+
+	// pending gathers one collective checkpoint's per-rank bytes until all
+	// ranks have contributed.
+	pending      map[int][]byte
+	pendingLevel int
+}
+
+// NewCluster creates a machine of `nodes` nodes (one rank per node).
+func NewCluster(nodes int, cfg Config) (*Cluster, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrFTI, nodes)
+	}
+	if cfg.GroupSize <= 0 || cfg.Parity < 0 {
+		return nil, fmt.Errorf("%w: group %d parity %d", ErrFTI, cfg.GroupSize, cfg.Parity)
+	}
+	if err := cfg.Hierarchy.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := erasure.New(cfg.GroupSize, cfg.Parity)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		nodes:   nodes,
+		cfg:     cfg,
+		code:    code,
+		local:   make([]map[int]snapshot, 1),
+		partner: make([]map[int]snapshot, 1),
+		rsData:  make([]map[int]snapshot, 1),
+		rsPar:   make(map[int][]snapshot),
+		rsSizes: make(map[int]int),
+		rsLens:  make(map[int][]int),
+		pfs:     make(map[int]snapshot),
+	}
+	c.local[0] = make(map[int]snapshot)
+	c.partner[0] = make(map[int]snapshot)
+	c.rsData[0] = make(map[int]snapshot)
+	return c, nil
+}
+
+// Nodes returns the machine size.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// PartnerOf returns the partner node of rank i (the next node, wrapping).
+func (c *Cluster) PartnerOf(i int) int { return (i + 1) % c.nodes }
+
+// groupOf returns the encoding-group index of rank i.
+func (c *Cluster) groupOf(i int) int { return i / c.cfg.GroupSize }
+
+// numGroups returns the number of encoding groups.
+func (c *Cluster) numGroups() int {
+	return (c.nodes + c.cfg.GroupSize - 1) / c.cfg.GroupSize
+}
+
+// parityHolder returns the node storing parity shard i of group g: the
+// parity of a group lives round-robin on the NEXT group's nodes, so that
+// losing up to Parity nodes inside one group erases only that group's data
+// shards, never its parity — the property that makes "≤ m losses per
+// group" recoverable. (With a single group the parity necessarily falls on
+// the same nodes and the guarantee degrades, as on a real machine.)
+func (c *Cluster) parityHolder(g, i int) int {
+	host := c.groupRanks((g + 1) % c.numGroups())
+	return host[i%len(host)]
+}
+
+// groupRanks returns the ranks in group g, clipped to the machine size.
+func (c *Cluster) groupRanks(g int) []int {
+	lo := g * c.cfg.GroupSize
+	hi := lo + c.cfg.GroupSize
+	if hi > c.nodes {
+		hi = c.nodes
+	}
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Agent is the per-rank handle used inside an mpisim run.
+type Agent struct {
+	c *Cluster
+	r *mpisim.Rank
+}
+
+// Attach binds a rank to the cluster for the duration of an mpisim run.
+func (c *Cluster) Attach(r *mpisim.Rank) *Agent {
+	return &Agent{c: c, r: r}
+}
+
+// Checkpoint performs a collective checkpoint of each rank's data at the
+// given level (1–4) and returns the per-rank duration in virtual seconds.
+// All ranks must call it with the same level (SPMD).
+func (a *Agent) Checkpoint(level int, data []byte) (float64, error) {
+	if level < 1 || level > Levels {
+		return 0, fmt.Errorf("%w: level %d", ErrFTI, level)
+	}
+	dur, err := a.c.cfg.Hierarchy.CheckpointTime(level, len(data), a.r.Size(), a.c.cfg.GroupSize)
+	if err != nil {
+		return 0, err
+	}
+	a.r.Compute(dur)
+
+	// Stash this rank's bytes; the last arriver commits the version.
+	a.c.mu.Lock()
+	pendingKey := a.r.ID()
+	if a.c.pending == nil {
+		a.c.pending = make(map[int][]byte, a.r.Size())
+		a.c.pendingLevel = level
+	}
+	if a.c.pendingLevel != level {
+		a.c.mu.Unlock()
+		return 0, fmt.Errorf("%w: mismatched checkpoint levels (%d vs %d)", ErrFTI, level, a.c.pendingLevel)
+	}
+	a.c.pending[pendingKey] = append([]byte(nil), data...)
+	complete := len(a.c.pending) == a.r.Size()
+	var commitErr error
+	if complete {
+		commitErr = a.c.commitLocked(level, a.c.pending)
+		a.c.pending = nil
+	}
+	a.c.mu.Unlock()
+	if commitErr != nil {
+		return 0, commitErr
+	}
+
+	// FTI synchronizes the application after a checkpoint.
+	a.r.Barrier()
+	return dur, nil
+}
+
+// commitLocked persists a complete collective checkpoint.
+func (c *Cluster) commitLocked(level int, data map[int][]byte) error {
+	c.version++
+	v := c.version
+	switch level {
+	case 1:
+		for rank, d := range data {
+			c.local[0][rank] = snapshot{v, d}
+		}
+	case 2:
+		for rank, d := range data {
+			c.local[0][rank] = snapshot{v, d}
+			c.partner[0][c.PartnerOf(rank)] = snapshot{v, d}
+		}
+	case 3:
+		for rank, d := range data {
+			c.rsData[0][rank] = snapshot{v, d}
+		}
+		// Encode each group with real Reed–Solomon parity.
+		groups := (c.nodes + c.cfg.GroupSize - 1) / c.cfg.GroupSize
+		for g := 0; g < groups; g++ {
+			ranks := c.groupRanks(g)
+			size := 0
+			for _, r := range ranks {
+				if len(data[r]) > size {
+					size = len(data[r])
+				}
+			}
+			shards := make([][]byte, c.cfg.GroupSize)
+			for idx := range shards {
+				shards[idx] = make([]byte, size)
+				if idx < len(ranks) {
+					copy(shards[idx], data[ranks[idx]])
+				}
+			}
+			parity, err := c.code.Encode(shards)
+			if err != nil {
+				return err
+			}
+			par := make([]snapshot, len(parity))
+			for i, p := range parity {
+				par[i] = snapshot{v, p}
+			}
+			c.rsPar[g] = par
+			c.rsSizes[g] = size
+			lens := make([]int, len(ranks))
+			for idx, r := range ranks {
+				lens[idx] = len(data[r])
+			}
+			c.rsLens[g] = lens
+		}
+	case 4:
+		for rank, d := range data {
+			c.pfs[rank] = snapshot{v, d}
+		}
+	}
+	return nil
+}
+
+// Crash marks the given nodes dead and destroys the storage a real crash
+// would: their local devices (level-1 files, level-2 copies they held,
+// level-3 shards and parity stored on them). Level-4 (PFS) data is
+// untouched. Dead nodes are assumed replaced by spares immediately (the
+// paper's allocation period A covers the delay), so the node count is
+// unchanged and `alive` is reset after accounting for the storage damage.
+func (c *Cluster) Crash(nodeSet []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = nil // abandon any checkpoint that was mid-flight
+	crashed := make(map[int]bool, len(nodeSet))
+	for _, n := range nodeSet {
+		if n < 0 || n >= c.nodes {
+			return fmt.Errorf("%w: crash of invalid node %d", ErrFTI, n)
+		}
+		crashed[n] = true
+	}
+	for n := range crashed {
+		delete(c.local[0], n)
+		delete(c.partner[0], n)
+		delete(c.rsData[0], n)
+	}
+	// Destroy parity shards whose holder nodes crashed.
+	for g := 0; g < c.numGroups(); g++ {
+		par := c.rsPar[g]
+		for i := range par {
+			if crashed[c.parityHolder(g, i)] {
+				par[i] = snapshot{}
+			}
+		}
+	}
+	return nil
+}
+
+// RecoveryState reports, per level, whether the latest checkpoint at that
+// level is fully restorable and its version.
+type RecoveryState struct {
+	Level     int
+	Version   int
+	Available bool
+}
+
+// Survey reports recoverability of each level's newest checkpoint.
+func (c *Cluster) Survey() []RecoveryState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RecoveryState, Levels)
+	for lvl := 1; lvl <= Levels; lvl++ {
+		v, ok := c.recoverableLocked(lvl)
+		out[lvl-1] = RecoveryState{Level: lvl, Version: v, Available: ok}
+	}
+	return out
+}
+
+// BestRecovery returns the cheapest (lowest) level whose newest checkpoint
+// is fully restorable, preferring the most recent version on ties at
+// different levels. It returns ok=false when nothing survives (restart
+// from scratch).
+func (c *Cluster) BestRecovery() (level, version int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bestV := -1
+	bestL := 0
+	for lvl := 1; lvl <= Levels; lvl++ {
+		if v, avail := c.recoverableLocked(lvl); avail && v > bestV {
+			bestV, bestL = v, lvl
+		}
+	}
+	if bestL == 0 {
+		return 0, 0, false
+	}
+	return bestL, bestV, true
+}
+
+func (c *Cluster) recoverableLocked(level int) (int, bool) {
+	switch level {
+	case 1:
+		return c.completeVersion(c.local[0])
+	case 2:
+		// Every rank's data must exist either on its own device or as the
+		// partner copy, all at one version.
+		v := -1
+		for rank := 0; rank < c.nodes; rank++ {
+			own, okOwn := c.local[0][rank]
+			cp, okCp := c.partner[0][c.PartnerOf(rank)]
+			var sv int
+			switch {
+			case okOwn && okCp:
+				sv = maxInt(own.version, cp.version)
+			case okOwn:
+				sv = own.version
+			case okCp:
+				sv = cp.version
+			default:
+				return 0, false
+			}
+			if v == -1 {
+				v = sv
+			} else if sv != v {
+				return 0, false
+			}
+		}
+		return v, v > 0
+	case 3:
+		// Each group must have ≥ k shards (data present or parity alive).
+		groups := (c.nodes + c.cfg.GroupSize - 1) / c.cfg.GroupSize
+		v := -1
+		for g := 0; g < groups; g++ {
+			ranks := c.groupRanks(g)
+			have := 0
+			gv := -1
+			for _, r := range ranks {
+				if s, ok := c.rsData[0][r]; ok {
+					have++
+					gv = s.version
+				}
+			}
+			for _, p := range c.rsPar[g] {
+				if p.data != nil {
+					have++
+					gv = p.version
+				}
+			}
+			// A short tail group has implicit zero-padding shards that are
+			// always available; decoding needs k shards in total.
+			if len(ranks) < c.cfg.GroupSize {
+				have += c.cfg.GroupSize - len(ranks)
+			}
+			if have < c.cfg.GroupSize {
+				return 0, false
+			}
+			if v == -1 {
+				v = gv
+			} else if gv != v {
+				return 0, false
+			}
+		}
+		return v, v > 0
+	case 4:
+		return c.completeVersion(c.pfs)
+	}
+	return 0, false
+}
+
+func (c *Cluster) completeVersion(m map[int]snapshot) (int, bool) {
+	if len(m) != c.nodes {
+		return 0, false
+	}
+	v := -1
+	for _, s := range m {
+		if v == -1 {
+			v = s.version
+		} else if s.version != v {
+			return 0, false
+		}
+	}
+	return v, v > 0
+}
+
+// Restore reconstructs every rank's protected bytes from the newest
+// checkpoint at the given level. For level 3 it performs real Reed–Solomon
+// reconstruction of any missing shards. The returned slice is indexed by
+// rank.
+func (c *Cluster) Restore(level int) ([][]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.recoverableLocked(level); !ok {
+		return nil, fmt.Errorf("%w: level %d not recoverable", ErrFTI, level)
+	}
+	out := make([][]byte, c.nodes)
+	switch level {
+	case 1:
+		for rank := 0; rank < c.nodes; rank++ {
+			out[rank] = append([]byte(nil), c.local[0][rank].data...)
+		}
+	case 2:
+		for rank := 0; rank < c.nodes; rank++ {
+			if s, ok := c.local[0][rank]; ok {
+				out[rank] = append([]byte(nil), s.data...)
+			} else {
+				out[rank] = append([]byte(nil), c.partner[0][c.PartnerOf(rank)].data...)
+			}
+		}
+	case 3:
+		groups := (c.nodes + c.cfg.GroupSize - 1) / c.cfg.GroupSize
+		for g := 0; g < groups; g++ {
+			ranks := c.groupRanks(g)
+			size := c.rsSizes[g]
+			shards := make([][]byte, c.cfg.GroupSize+c.cfg.Parity)
+			for idx := 0; idx < c.cfg.GroupSize; idx++ {
+				if idx < len(ranks) {
+					if s, ok := c.rsData[0][ranks[idx]]; ok {
+						padded := make([]byte, size)
+						copy(padded, s.data)
+						shards[idx] = padded
+					}
+				} else {
+					shards[idx] = make([]byte, size) // implicit zero padding shard
+				}
+			}
+			for i, p := range c.rsPar[g] {
+				if p.data != nil {
+					shards[c.cfg.GroupSize+i] = append([]byte(nil), p.data...)
+				}
+			}
+			if err := c.code.Reconstruct(shards); err != nil {
+				return nil, err
+			}
+			lens := c.rsLens[g]
+			for idx, r := range ranks {
+				out[r] = shards[idx][:lens[idx]]
+			}
+		}
+	case 4:
+		for rank := 0; rank < c.nodes; rank++ {
+			out[rank] = append([]byte(nil), c.pfs[rank].data...)
+		}
+	}
+	return out, nil
+}
+
+// RecoveryCost returns the per-node virtual-time cost of restoring from
+// the given level with perNode bytes.
+func (c *Cluster) RecoveryCost(level, perNode int) (float64, error) {
+	return c.cfg.Hierarchy.RecoveryTime(level, perNode, c.nodes, c.cfg.GroupSize)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

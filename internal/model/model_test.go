@@ -1,0 +1,315 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/numopt"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// paperParams builds the evaluation setup of Section IV: quadratic speedup
+// with κ=0.46, N^(*)=1e6, Table II FTI costs, rates 16-12-8-4 at baseline
+// 1e6, Te in core-days.
+func paperParams(teCoreDays float64, spec string) *Params {
+	return &Params{
+		Te:      teCoreDays * failure.SecondsPerDay,
+		Speedup: speedup.Quadratic{Kappa: 0.46, NStar: 1e6},
+		Levels:  overhead.SymmetricLevels(overhead.FusionFittedCosts(), 1.0),
+		Alloc:   60,
+		Rates:   failure.MustParseRates(spec, 1e6),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := *p
+	bad.Te = 0
+	if err := bad.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("zero Te: %v", err)
+	}
+	bad = *p
+	bad.Speedup = nil
+	if err := bad.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("nil speedup: %v", err)
+	}
+	bad = *p
+	bad.Levels = nil
+	if err := bad.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("no levels: %v", err)
+	}
+	bad = *p
+	bad.Alloc = -1
+	if err := bad.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("negative alloc: %v", err)
+	}
+	bad = *p
+	bad.Rates = failure.MustParseRates("1-2", 1e6)
+	if err := bad.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("level mismatch: %v", err)
+	}
+}
+
+func TestMuAndB(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	day := failure.SecondsPerDay
+	mu := p.MuOfN(1e6, day)
+	want := []float64{16, 12, 8, 4}
+	for i := range mu {
+		if math.Abs(mu[i]-want[i]) > 1e-9 {
+			t.Errorf("μ_%d = %g, want %g", i+1, mu[i], want[i])
+		}
+	}
+	b := p.BOfT(day)
+	// μ_i(N) = b_i·N must reproduce mu at N=1e6.
+	for i := range b {
+		if math.Abs(b[i]*1e6-mu[i]) > 1e-9 {
+			t.Errorf("b_%d·N = %g, want μ=%g", i+1, b[i]*1e6, mu[i])
+		}
+	}
+}
+
+func TestExpectedRollbackStructure(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 5e5
+	x := []float64{400, 200, 100, 50}
+	// Level 1 rollback: f/(2x_1) + C_1/2.
+	want := p.ProductiveTime(n)/(2*x[0]) + p.Levels[0].Checkpoint.At(n)/2
+	if got := p.ExpectedRollback(x, n, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("level-1 rollback = %g, want %g", got, want)
+	}
+	// Higher levels include all lower-level checkpoint overheads, so for
+	// equal x the loss must increase with level.
+	eq := []float64{100, 100, 100, 100}
+	prev := 0.0
+	for i := 0; i < 4; i++ {
+		cur := p.ExpectedRollback(eq, n, i)
+		if cur <= prev {
+			t.Errorf("rollback not increasing with level at i=%d: %g <= %g", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestWallClockReducesToPieces(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 5e5
+	x := []float64{400, 200, 100, 50}
+	mu := []float64{0, 0, 0, 0}
+	// With no failures, E(T_w) = productive + Σ C_i(x_i−1).
+	want := p.ProductiveTime(n)
+	for i := range x {
+		want += p.Levels[i].Checkpoint.At(n) * (x[i] - 1)
+	}
+	if got := p.WallClock(x, n, mu); math.Abs(got-want) > 1e-6 {
+		t.Errorf("failure-free wall clock = %g, want %g", got, want)
+	}
+	// Adding failures strictly increases the wall clock.
+	mu2 := []float64{10, 5, 2, 1}
+	if p.WallClock(x, n, mu2) <= want {
+		t.Error("failures did not increase expected wall clock")
+	}
+}
+
+func TestGradXMatchesFiniteDifference(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 472000.0
+	mu := p.MuOfN(n, 20*failure.SecondsPerDay)
+	x := []float64{3000, 900, 300, 60}
+	for i := 0; i < 4; i++ {
+		analytic := p.GradX(x, n, mu, i)
+		xi := i
+		numeric := numopt.PartialDerivative(func(v []float64) float64 {
+			return p.WallClock(v, n, mu)
+		}, x, xi)
+		if math.Abs(analytic-numeric) > 1e-3*(1+math.Abs(analytic)) {
+			t.Errorf("∂E/∂x_%d: analytic %g vs numeric %g", i+1, analytic, numeric)
+		}
+	}
+}
+
+func TestGradNMatchesFiniteDifference(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	wct := 20 * failure.SecondsPerDay
+	b := p.BOfT(wct)
+	x := []float64{3000, 900, 300, 60}
+	f := func(n float64) float64 {
+		mu := make([]float64, len(b))
+		for i := range b {
+			mu[i] = b[i] * n
+		}
+		return p.WallClock(x, n, mu)
+	}
+	for _, n := range []float64{2e5, 5e5, 8e5} {
+		analytic := p.GradN(x, n, b)
+		numeric := numopt.DerivativeStep(f, n, 1.0)
+		if math.Abs(analytic-numeric) > 1e-3*(1+math.Abs(analytic)) {
+			t.Errorf("∂E/∂N at %g: analytic %g vs numeric %g", n, analytic, numeric)
+		}
+	}
+}
+
+func TestConvexityUnderFixedMuCondition(t *testing.T) {
+	// Under μ_i(N)=b_i·N (Algorithm 1's condition), E(T_w) is convex in
+	// each x_i and in N on (0, N^(*)].
+	p := paperParams(3e6, "16-12-8-4")
+	wct := 20 * failure.SecondsPerDay
+	b := p.BOfT(wct)
+	x := []float64{3000, 900, 300, 60}
+	fN := func(n float64) float64 {
+		mu := make([]float64, len(b))
+		for i := range b {
+			mu[i] = b[i] * n
+		}
+		return p.WallClock(x, n, mu)
+	}
+	if ok, lo, hi := numopt.IsConvexOn(fN, 1e4, 1e6, 60, 1e-3); !ok {
+		t.Errorf("E(T_w) nonconvex in N on [%g, %g]", lo, hi)
+	}
+	for i := 0; i < 4; i++ {
+		xi := i
+		fx := func(v float64) float64 {
+			xx := append([]float64(nil), x...)
+			xx[xi] = v
+			mu := make([]float64, len(b))
+			for j := range b {
+				mu[j] = b[j] * 5e5
+			}
+			return p.WallClock(xx, 5e5, mu)
+		}
+		if ok, lo, hi := numopt.IsConvexOn(fx, 1, 5000, 60, 1e-3); !ok {
+			t.Errorf("E(T_w) nonconvex in x_%d on [%g, %g]", i+1, lo, hi)
+		}
+	}
+}
+
+func TestSelfConsistentNonconvexity(t *testing.T) {
+	// Section III-A: the unconditioned Formula (6) is NOT convex in N in
+	// some regimes. Exhibit one: high failure rate, linear-in-N recovery.
+	te := 4000.0 * failure.SecondsPerDay
+	c := overhead.LinearCost(5, 0.005)
+	r := overhead.LinearCost(5, 0.005)
+	lambda := 40.0 / failure.SecondsPerDay / 2 // high failure rate per second
+	f := func(n float64) float64 {
+		return SelfConsistentSingleLevel(te, 0.46, c, r, 60, lambda, 200, n)
+	}
+	ok, _, _ := numopt.IsConvexOn(f, 1e3, 4e5, 80, 1e-6)
+	if ok {
+		t.Skip("nonconvexity not exhibited at this setting (acceptable: paper only claims existence)")
+	}
+	// Also confirm the denominator guard.
+	if v := SelfConsistentSingleLevel(te, 0.46, c, r, 60, 1.0, 1, 10); !math.IsInf(v, 1) {
+		t.Errorf("non-positive denominator should yield +Inf, got %g", v)
+	}
+}
+
+func TestYoungX(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 1e6
+	mu := p.MuOfN(n, 10*failure.SecondsPerDay)
+	for i := 0; i < 4; i++ {
+		x := p.YoungX(n, mu, i)
+		want := math.Sqrt(mu[i] * p.ProductiveTime(n) / (2 * p.Levels[i].Checkpoint.At(n)))
+		if want < 1 {
+			want = 1
+		}
+		if math.Abs(x-want) > 1e-9 {
+			t.Errorf("Young x_%d = %g, want %g", i+1, x, want)
+		}
+	}
+	// Zero failures clamp at 1.
+	if x := p.YoungX(n, []float64{0, 0, 0, 0}, 0); x != 1 {
+		t.Errorf("zero-μ Young x = %g, want 1", x)
+	}
+}
+
+func TestSingleLevelWallClockMatchesFormula7(t *testing.T) {
+	// Linear speedup, constant costs: Formula (7) exactly.
+	te := 4000.0 * failure.SecondsPerDay
+	kappa := 0.46
+	g := speedup.Linear{Kappa: kappa, MaxScale: 1e6}
+	c := overhead.Constant(5)
+	r := overhead.Constant(5)
+	alloc := 0.0
+	bCoef := 5e-6
+	x, n := 500.0, 1e5
+	got := SingleLevelWallClock(te, g, c, r, alloc, bCoef, x, n)
+	want := te/(kappa*n) + 5*(x-1) + bCoef*n*(te/(kappa*n)/(2*x)+5+0)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Formula 7 mismatch: %g vs %g", got, want)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// Table IV cross-check: Te=2e6 core-days, WCT=14.6 days, N=866k
+	// should give efficiency ≈ 0.158.
+	te := 2e6 * failure.SecondsPerDay
+	wct := 14.6 * failure.SecondsPerDay
+	eff := Efficiency(te, wct, 866000)
+	if math.Abs(eff-0.158) > 0.002 {
+		t.Errorf("efficiency = %g, want ≈0.158", eff)
+	}
+	if !math.IsNaN(Efficiency(te, 0, 100)) || !math.IsNaN(Efficiency(te, 100, 0)) {
+		t.Error("degenerate inputs should yield NaN")
+	}
+}
+
+// Property: wall clock is monotone in every μ component.
+func TestWallClockMonotoneInMuProperty(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	prop := func(seed uint64) bool {
+		n := 1e5 + float64(seed%9)*1e5
+		x := []float64{1000, 500, 200, 50}
+		base := []float64{5, 4, 3, 2}
+		w0 := p.WallClock(x, n, base)
+		for i := range base {
+			bumped := append([]float64(nil), base...)
+			bumped[i] *= 2
+			if p.WallClock(x, n, bumped) <= w0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at the analytic stationary point of x_i (GradX = 0), small
+// perturbations of x_i never decrease E(T_w) (local optimality under
+// convexity).
+func TestStationaryPointLocalOptimalityProperty(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 5e5
+	mu := p.MuOfN(n, 15*failure.SecondsPerDay)
+	// Solve level 0's stationary x by bisection on GradX.
+	x := []float64{1000, 500, 200, 50}
+	res, err := numopt.Bisect(func(v float64) float64 {
+		xx := append([]float64(nil), x...)
+		xx[0] = v
+		return p.GradX(xx, n, mu, 0)
+	}, 1, 1e7, 1e-9, 400)
+	if err != nil {
+		t.Fatalf("no stationary point: %v", err)
+	}
+	x0 := res.Root
+	eval := func(v float64) float64 {
+		xx := append([]float64(nil), x...)
+		xx[0] = v
+		return p.WallClock(xx, n, mu)
+	}
+	base := eval(x0)
+	for _, d := range []float64{-0.2, -0.05, 0.05, 0.2} {
+		if eval(x0*(1+d)) < base-1e-9 {
+			t.Errorf("perturbation %+.0f%% decreased E(T_w)", d*100)
+		}
+	}
+}

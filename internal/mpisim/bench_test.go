@@ -1,0 +1,51 @@
+package mpisim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, p := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("ranks=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Run(p, DefaultCostModel(), func(r *Rank) {
+					for k := 0; k < 10; k++ {
+						r.Allreduce(Sum, []float64{1, 2, 3})
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPointToPointRing(b *testing.B) {
+	const p = 64
+	payload := make([]byte, 4096)
+	for i := 0; i < b.N; i++ {
+		_, err := Run(p, DefaultCostModel(), func(r *Rank) {
+			right := (r.ID() + 1) % p
+			left := (r.ID() + p - 1) % p
+			for k := 0; k < 10; k++ {
+				rq := r.Irecv(left, 1)
+				r.Send(right, 1, payload)
+				rq.Wait()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimeSpawn(b *testing.B) {
+	// Cost of spinning an SPMD world up and down.
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(128, DefaultCostModel(), func(r *Rank) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

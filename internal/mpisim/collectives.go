@@ -1,0 +1,77 @@
+package mpisim
+
+import "fmt"
+
+// Reduce reduces the per-rank vectors elementwise with op; only the root
+// receives the result (others get nil). Cost: one tree phase (half an
+// Allreduce).
+func (r *Rank) Reduce(root int, op ReduceOp, data []float64) []float64 {
+	if root < 0 || root >= r.rt.size {
+		panic(fmt.Sprintf("mpisim: Reduce with invalid root %d", root))
+	}
+	local := append([]float64(nil), data...)
+	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data))
+	out := r.collective("reduce", local, func(entries []float64, payloads []any) (any, float64) {
+		acc := append([]float64(nil), payloads[0].([]float64)...)
+		for i := 1; i < len(payloads); i++ {
+			v := payloads[i].([]float64)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("mpisim: Reduce length mismatch: %d vs %d", len(v), len(acc)))
+			}
+			for j := range acc {
+				switch op {
+				case Sum:
+					acc[j] += v[j]
+				case Max:
+					if v[j] > acc[j] {
+						acc[j] = v[j]
+					}
+				case Min:
+					if v[j] < acc[j] {
+						acc[j] = v[j]
+					}
+				}
+			}
+		}
+		return acc, maxOf(entries) + cost
+	})
+	if r.id != root {
+		return nil
+	}
+	return out.([]float64)
+}
+
+// Scatter distributes root's per-rank chunks: rank i receives chunks[i].
+// Non-root ranks pass nil. Cost: one tree phase over the total volume.
+func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
+	if root < 0 || root >= r.rt.size {
+		panic(fmt.Sprintf("mpisim: Scatter with invalid root %d", root))
+	}
+	var payload any
+	total := 0
+	if r.id == root {
+		if len(chunks) != r.rt.size {
+			panic(fmt.Sprintf("mpisim: Scatter with %d chunks for %d ranks", len(chunks), r.rt.size))
+		}
+		cp := make([][]byte, len(chunks))
+		for i, c := range chunks {
+			cp[i] = append([]byte(nil), c...)
+			total += len(c)
+		}
+		payload = cp
+	}
+	cost := r.rt.cost.treeCost(r.rt.size, total)
+	out := r.collective("scatter", payload, func(entries []float64, payloads []any) (any, float64) {
+		return payloads[root], maxOf(entries) + cost
+	})
+	all := out.([][]byte)
+	return all[r.id]
+}
+
+// SendRecv performs a combined blocking exchange with two (possibly
+// different) partners, deadlock-free: the send is injected eagerly before
+// the receive blocks.
+func (r *Rank) SendRecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	r.Send(dst, sendTag, data)
+	return r.Recv(src, recvTag)
+}

@@ -1,0 +1,89 @@
+package mpisim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReduceRootOnly(t *testing.T) {
+	_, err := Run(6, DefaultCostModel(), func(r *Rank) {
+		got := r.Reduce(2, Sum, []float64{float64(r.ID())})
+		if r.ID() == 2 {
+			if got == nil || got[0] != 15 { // 0+1+...+5
+				panic("root result wrong")
+			}
+		} else if got != nil {
+			panic("non-root received a result")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	_, err := Run(4, DefaultCostModel(), func(r *Rank) {
+		if got := r.Reduce(0, Max, []float64{float64(r.ID() * 7)}); r.ID() == 0 && got[0] != 21 {
+			panic("max wrong")
+		}
+		if got := r.Reduce(0, Min, []float64{float64(r.ID() + 3)}); r.ID() == 0 && got[0] != 3 {
+			panic("min wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	_, err := Run(4, DefaultCostModel(), func(r *Rank) {
+		var chunks [][]byte
+		if r.ID() == 1 {
+			chunks = [][]byte{{0}, {11}, {22}, {33}}
+		}
+		got := r.Scatter(1, chunks)
+		if len(got) != 1 || got[0] != byte(r.ID()*11) {
+			panic("scatter chunk wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongChunkCount(t *testing.T) {
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		var chunks [][]byte
+		if r.ID() == 0 {
+			chunks = [][]byte{{1}} // one chunk for two ranks
+		}
+		r.Scatter(0, chunks)
+	})
+	if err == nil {
+		t.Fatal("bad chunk count accepted")
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	// Classic shift-around-the-ring exchange, deadlock-free.
+	_, err := Run(5, DefaultCostModel(), func(r *Rank) {
+		right := (r.ID() + 1) % 5
+		left := (r.ID() + 4) % 5
+		got := r.SendRecv(right, 9, []byte{byte(r.ID())}, left, 9)
+		if !bytes.Equal(got, []byte{byte(left)}) {
+			panic("ring exchange wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInvalidRoot(t *testing.T) {
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		r.Reduce(5, Sum, []float64{1})
+	})
+	if err == nil {
+		t.Fatal("invalid root accepted")
+	}
+}

@@ -1,0 +1,414 @@
+// Package mpisim is a simulated message-passing runtime: it executes SPMD
+// programs written against an MPI-like API — one goroutine per rank, real
+// data movement between ranks — while advancing per-rank *virtual clocks*
+// according to a LogP-style communication cost model instead of measuring
+// host time.
+//
+// It stands in for the paper's real-cluster substrate (the Argonne Fusion
+// runs of Section IV): the Heat Distribution program in internal/heat runs
+// on it with genuine ghost-cell exchanges and reductions, producing the
+// speedup curves of Figure 2 and exercising the FTI-style checkpoint
+// toolkit in internal/fti end to end. Because time is virtual, a
+// 1,024-rank execution simulates in milliseconds, deterministically.
+//
+// Timing semantics (cost model fields in parentheses):
+//
+//   - Compute(s): the rank's clock advances by s seconds.
+//   - Send/Isend: the sender is charged the injection overhead (Overhead);
+//     the message departs at that point and arrives Latency + len·ByteTime
+//     later.
+//   - Recv/Wait: the receiver's clock becomes max(own clock, arrival) +
+//     Overhead.
+//   - Collectives (Barrier, Bcast, Allreduce): all ranks synchronize to the
+//     latest participant, plus a binary-tree cost of ceil(log2 P) rounds.
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrRuntime is returned when an SPMD program fails (rank panic, bad rank
+// arguments, mismatched collectives).
+var ErrRuntime = errors.New("mpisim: runtime error")
+
+// CostModel parameterizes communication timing, all in seconds (ByteTime in
+// seconds per byte).
+type CostModel struct {
+	Overhead float64 // per-message CPU injection/extraction cost (o)
+	Latency  float64 // network transit latency (L)
+	ByteTime float64 // inverse bandwidth (1/B), seconds per byte
+}
+
+// DefaultCostModel approximates a commodity InfiniBand cluster of the
+// paper's era: ~1 µs overhead, ~1.5 µs latency, ~3 GB/s links.
+func DefaultCostModel() CostModel {
+	return CostModel{Overhead: 1e-6, Latency: 1.5e-6, ByteTime: 1.0 / 3e9}
+}
+
+// transferTime returns the wire time of an n-byte message.
+func (c CostModel) transferTime(n int) float64 {
+	return c.Latency + float64(n)*c.ByteTime
+}
+
+// treeCost returns the cost of a binary-tree collective over p ranks moving
+// n bytes per round.
+func (c CostModel) treeCost(p, n int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	return rounds * (c.Overhead + c.transferTime(n))
+}
+
+type mailKey struct {
+	src, dst, tag int
+}
+
+type message struct {
+	data    []byte
+	arrival float64 // virtual time the message is available at the receiver
+}
+
+// Runtime hosts one SPMD execution.
+type Runtime struct {
+	size int
+	cost CostModel
+
+	mu    sync.Mutex
+	mail  map[mailKey]chan message
+	colls map[string]*collOp
+	ranks []*Rank
+
+	abort     chan struct{} // closed when any rank panics
+	abortOnce sync.Once
+}
+
+// abortSentinel marks the secondary panics used to unblock ranks stuck in
+// Recv or collectives after another rank failed.
+type abortSentinel struct{}
+
+type collOp struct {
+	arrived  int
+	entries  []float64
+	payloads []any
+	exit     float64
+	result   any
+	done     chan struct{}
+}
+
+// Rank is the per-goroutine handle an SPMD function receives.
+type Rank struct {
+	id    int
+	rt    *Runtime
+	clock float64
+	seq   map[string]int // per-kind collective sequence numbers
+}
+
+// Run executes fn as size concurrent ranks and returns the wall-clock time
+// of the execution: the maximum final virtual clock across ranks. A panic
+// in any rank aborts the run with an error (the other ranks may be leaked
+// if they are blocked on the panicking rank — acceptable for a simulator
+// driven by tests and benches).
+func Run(size int, cost CostModel, fn func(*Rank)) (float64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("%w: size %d", ErrRuntime, size)
+	}
+	rt := &Runtime{
+		size:  size,
+		cost:  cost,
+		mail:  make(map[mailKey]chan message),
+		colls: make(map[string]*collOp),
+		abort: make(chan struct{}),
+	}
+	rt.ranks = make([]*Rank, size)
+	for i := range rt.ranks {
+		rt.ranks[i] = &Rank{id: i, rt: rt, seq: make(map[string]int)}
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, size)
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r.id] = p
+					rt.abortOnce.Do(func() { close(rt.abort) })
+				}
+			}()
+			fn(r)
+		}(rt.ranks[i])
+	}
+	wg.Wait()
+	for id, p := range panics {
+		if _, aborted := p.(abortSentinel); p != nil && !aborted {
+			return 0, fmt.Errorf("%w: rank %d panicked: %v", ErrRuntime, id, p)
+		}
+	}
+	// All recorded panics were abort sentinels triggered by... impossible
+	// without an original panic, but guard anyway.
+	for id, p := range panics {
+		if p != nil {
+			return 0, fmt.Errorf("%w: rank %d aborted", ErrRuntime, id)
+		}
+	}
+	wall := 0.0
+	for _, r := range rt.ranks {
+		if r.clock > wall {
+			wall = r.clock
+		}
+	}
+	return wall, nil
+}
+
+// ID returns the rank index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.rt.size }
+
+// Clock returns the rank's current virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Compute advances the rank's clock by the given computation time.
+func (r *Rank) Compute(seconds float64) {
+	if seconds > 0 {
+		r.clock += seconds
+	}
+}
+
+func (rt *Runtime) box(k mailKey) chan message {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if ch, ok := rt.mail[k]; ok {
+		return ch
+	}
+	ch := make(chan message, 1024)
+	rt.mail[k] = ch
+	return ch
+}
+
+// Send transmits data to rank dst with the given tag (eager semantics: the
+// sender does not wait for the matching receive).
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.rt.size {
+		panic(fmt.Sprintf("mpisim: Send to invalid rank %d", dst))
+	}
+	r.clock += r.rt.cost.Overhead
+	msg := message{
+		data:    append([]byte(nil), data...),
+		arrival: r.clock + r.rt.cost.transferTime(len(data)),
+	}
+	select {
+	case r.rt.box(mailKey{r.id, dst, tag}) <- msg:
+	case <-r.rt.abort:
+		panic(abortSentinel{})
+	}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload.
+func (r *Rank) Recv(src, tag int) []byte {
+	if src < 0 || src >= r.rt.size {
+		panic(fmt.Sprintf("mpisim: Recv from invalid rank %d", src))
+	}
+	var msg message
+	select {
+	case msg = <-r.rt.box(mailKey{src, r.id, tag}):
+	case <-r.rt.abort:
+		panic(abortSentinel{})
+	}
+	if msg.arrival > r.clock {
+		r.clock = msg.arrival
+	}
+	r.clock += r.rt.cost.Overhead
+	return msg.data
+}
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	rank     *Rank
+	recv     bool
+	src, tag int
+	done     bool
+	data     []byte
+}
+
+// Isend starts a nonblocking send. The message is injected immediately
+// (eager); Wait is a no-op kept for MPI-shaped code.
+func (r *Rank) Isend(dst, tag int, data []byte) *Request {
+	r.Send(dst, tag, data)
+	return &Request{rank: r, done: true}
+}
+
+// Irecv posts a nonblocking receive; the match happens at Wait.
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{rank: r, recv: true, src: src, tag: tag}
+}
+
+// Wait completes the request and returns the received payload (nil for
+// sends).
+func (q *Request) Wait() []byte {
+	if q.done {
+		return q.data
+	}
+	q.done = true
+	if q.recv {
+		q.data = q.rank.Recv(q.src, q.tag)
+	}
+	return q.data
+}
+
+// Waitall completes all requests in order.
+func (r *Rank) Waitall(reqs []*Request) {
+	for _, q := range reqs {
+		q.Wait()
+	}
+}
+
+// collective synchronizes all ranks on a named operation. compute runs once
+// (on the last arriver) over the gathered payloads and entry clocks and
+// returns (result, exitClock).
+func (r *Rank) collective(kind string, payload any,
+	compute func(entries []float64, payloads []any) (any, float64)) any {
+
+	rt := r.rt
+	seq := r.seq[kind]
+	r.seq[kind] = seq + 1
+	key := fmt.Sprintf("%s#%d", kind, seq)
+
+	rt.mu.Lock()
+	op, ok := rt.colls[key]
+	if !ok {
+		op = &collOp{
+			entries:  make([]float64, rt.size),
+			payloads: make([]any, rt.size),
+			done:     make(chan struct{}),
+		}
+		rt.colls[key] = op
+	}
+	op.entries[r.id] = r.clock
+	op.payloads[r.id] = payload
+	op.arrived++
+	if op.arrived == rt.size {
+		op.result, op.exit = compute(op.entries, op.payloads)
+		delete(rt.colls, key) // slot is complete; free it
+		close(op.done)
+	}
+	rt.mu.Unlock()
+
+	select {
+	case <-op.done:
+	case <-rt.abort:
+		panic(abortSentinel{})
+	}
+	r.clock = op.exit
+	return op.result
+}
+
+// Barrier blocks until every rank reaches it; all clocks synchronize to the
+// latest participant plus a tree latency.
+func (r *Rank) Barrier() {
+	cost := r.rt.cost.treeCost(r.rt.size, 0)
+	r.collective("barrier", nil, func(entries []float64, _ []any) (any, float64) {
+		return nil, maxOf(entries) + cost
+	})
+}
+
+// Bcast broadcasts root's payload to every rank and returns it.
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	if root < 0 || root >= r.rt.size {
+		panic(fmt.Sprintf("mpisim: Bcast with invalid root %d", root))
+	}
+	var payload any
+	if r.id == root {
+		payload = append([]byte(nil), data...)
+	}
+	cost := r.rt.cost.treeCost(r.rt.size, len(data))
+	out := r.collective("bcast", payload, func(entries []float64, payloads []any) (any, float64) {
+		return payloads[root], maxOf(entries) + cost
+	})
+	if out == nil {
+		return nil
+	}
+	return out.([]byte)
+}
+
+// ReduceOp is a reduction operator for Allreduce.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	Sum ReduceOp = iota
+	Max
+	Min
+)
+
+// Allreduce reduces the per-rank vectors elementwise with op and returns
+// the reduced vector to every rank.
+func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
+	local := append([]float64(nil), data...)
+	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data)) * 2 // reduce + broadcast phases
+	out := r.collective("allreduce", local, func(entries []float64, payloads []any) (any, float64) {
+		acc := append([]float64(nil), payloads[0].([]float64)...)
+		for i := 1; i < len(payloads); i++ {
+			v := payloads[i].([]float64)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("mpisim: Allreduce length mismatch: %d vs %d", len(v), len(acc)))
+			}
+			for j := range acc {
+				switch op {
+				case Sum:
+					acc[j] += v[j]
+				case Max:
+					if v[j] > acc[j] {
+						acc[j] = v[j]
+					}
+				case Min:
+					if v[j] < acc[j] {
+						acc[j] = v[j]
+					}
+				}
+			}
+		}
+		return acc, maxOf(entries) + cost
+	})
+	return out.([]float64)
+}
+
+// Gather collects every rank's payload at all ranks (an allgather; the
+// checkpoint toolkit uses it for group coordination).
+func (r *Rank) Gather(data []byte) [][]byte {
+	payload := append([]byte(nil), data...)
+	n := len(data)
+	cost := r.rt.cost.treeCost(r.rt.size, n*r.rt.size)
+	out := r.collective("gather", payload, func(entries []float64, payloads []any) (any, float64) {
+		all := make([][]byte, len(payloads))
+		for i, p := range payloads {
+			all[i] = p.([]byte)
+		}
+		return all, maxOf(entries) + cost
+	})
+	return out.([][]byte)
+}
+
+// AdvanceTo raises the rank's clock to at least t (used by I/O substrates
+// that compute completion times themselves).
+func (r *Rank) AdvanceTo(t float64) {
+	if t > r.clock {
+		r.clock = t
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,334 @@
+package mpisim
+
+import (
+	"bytes"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	var count int64
+	wall, err := Run(8, DefaultCostModel(), func(r *Rank) {
+		atomic.AddInt64(&count, 1)
+		r.Compute(0.5)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 8 {
+		t.Errorf("ran %d ranks, want 8", count)
+	}
+	if math.Abs(wall-0.5) > 1e-12 {
+		t.Errorf("wall = %g, want 0.5", wall)
+	}
+}
+
+func TestRunInvalidSize(t *testing.T) {
+	if _, err := Run(0, DefaultCostModel(), func(*Rank) {}); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+		r.Recv(1, 0) // would deadlock without the panic short-circuit...
+	})
+	if err == nil {
+		t.Fatal("rank panic not reported")
+	}
+}
+
+func TestSendRecvData(t *testing.T) {
+	payload := []byte("ghost-cells")
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, payload)
+		} else {
+			got := r.Recv(0, 7)
+			if !bytes.Equal(got, payload) {
+				panic("payload corrupted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvTiming(t *testing.T) {
+	cost := CostModel{Overhead: 1, Latency: 10, ByteTime: 0.001}
+	n := 1000 // bytes -> 1 s wire time
+	var recvClock float64
+	_, err := Run(2, cost, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(5)
+			r.Send(1, 0, make([]byte, n))
+		} else {
+			r.Recv(0, 0)
+			recvClock = r.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender: 5 (compute) + 1 (overhead) = departs at 6. Arrival = 6 + 10 +
+	// 1 = 17. Receiver: max(0, 17) + 1 = 18.
+	if math.Abs(recvClock-18) > 1e-9 {
+		t.Errorf("receiver clock = %g, want 18", recvClock)
+	}
+}
+
+func TestRecvWaitsForLateSender(t *testing.T) {
+	cost := CostModel{Overhead: 0, Latency: 1, ByteTime: 0}
+	var recvClock float64
+	_, err := Run(2, cost, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(100)
+			r.Send(1, 0, nil)
+		} else {
+			r.Compute(1)
+			r.Recv(0, 0)
+			recvClock = r.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recvClock-101) > 1e-9 {
+		t.Errorf("receiver clock = %g, want 101", recvClock)
+	}
+}
+
+func TestMessageOrderingPerChannel(t *testing.T) {
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 10; i++ {
+				r.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				got := r.Recv(0, 3)
+				if got[0] != byte(i) {
+					panic("out-of-order delivery on one channel")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsAreIndependent(t *testing.T) {
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, []byte("one"))
+			r.Send(1, 2, []byte("two"))
+		} else {
+			// Receive in the opposite tag order.
+			if string(r.Recv(0, 2)) != "two" {
+				panic("tag 2 wrong")
+			}
+			if string(r.Recv(0, 1)) != "one" {
+				panic("tag 1 wrong")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	// The heat app's exchange pattern: post Irecvs, Isends, then Waitall.
+	_, err := Run(4, DefaultCostModel(), func(r *Rank) {
+		left := (r.ID() + 3) % 4
+		right := (r.ID() + 1) % 4
+		reqs := []*Request{
+			r.Irecv(left, 0),
+			r.Irecv(right, 1),
+			r.Isend(right, 0, []byte{byte(r.ID())}),
+			r.Isend(left, 1, []byte{byte(r.ID())}),
+		}
+		r.Waitall(reqs)
+		if reqs[0].Wait()[0] != byte(left) {
+			panic("left neighbor data wrong")
+		}
+		if reqs[1].Wait()[0] != byte(right) {
+			panic("right neighbor data wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	cost := CostModel{Overhead: 0, Latency: 1, ByteTime: 0}
+	clocks := make([]float64, 4)
+	_, err := Run(4, cost, func(r *Rank) {
+		r.Compute(float64(r.ID()) * 10) // ranks arrive at 0, 10, 20, 30
+		r.Barrier()
+		clocks[r.ID()] = r.Clock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 30 + 2.0 // max entry + ceil(log2(4)) rounds × 1 s latency
+	for i, c := range clocks {
+		if math.Abs(c-want) > 1e-9 {
+			t.Errorf("rank %d clock = %g, want %g", i, c, want)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	data := []byte("model-parameters")
+	_, err := Run(8, DefaultCostModel(), func(r *Rank) {
+		var in []byte
+		if r.ID() == 3 {
+			in = data
+		}
+		got := r.Bcast(3, in)
+		if !bytes.Equal(got, data) {
+			panic("bcast payload wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	_, err := Run(8, DefaultCostModel(), func(r *Rank) {
+		v := r.Allreduce(Sum, []float64{1, float64(r.ID())})
+		if v[0] != 8 {
+			panic("sum of ones wrong")
+		}
+		if v[1] != 28 { // 0+1+...+7
+			panic("sum of ids wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	_, err := Run(5, DefaultCostModel(), func(r *Rank) {
+		mx := r.Allreduce(Max, []float64{float64(r.ID())})
+		if mx[0] != 4 {
+			panic("max wrong")
+		}
+		mn := r.Allreduce(Min, []float64{float64(r.ID())})
+		if mn[0] != 0 {
+			panic("min wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	_, err := Run(4, DefaultCostModel(), func(r *Rank) {
+		all := r.Gather([]byte{byte(r.ID() * 11)})
+		for i, b := range all {
+			if b[0] != byte(i*11) {
+				panic("gather content wrong")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// Sequence numbers must keep repeated collectives of the same kind
+	// separate.
+	_, err := Run(3, DefaultCostModel(), func(r *Rank) {
+		for i := 0; i < 50; i++ {
+			v := r.Allreduce(Sum, []float64{float64(i)})
+			if v[0] != float64(3*i) {
+				panic("collective generations mixed up")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommDominatedScalingShape(t *testing.T) {
+	// A fixed-size workload split across P ranks with per-iteration
+	// collectives: speedup must rise at small P and fall once communication
+	// dominates — the Figure 2(b) shape the quadratic fit targets.
+	serial := 1.0 // seconds of total compute per iteration
+	cost := CostModel{Overhead: 1e-4, Latency: 1e-3, ByteTime: 1e-9}
+	wallAt := func(p int) float64 {
+		wall, err := Run(p, cost, func(r *Rank) {
+			for it := 0; it < 5; it++ {
+				r.Compute(serial / float64(p))
+				r.Allreduce(Sum, []float64{1})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+	base := wallAt(1)
+	s16 := base / wallAt(16)
+	s256 := base / wallAt(256)
+	s1024 := base / wallAt(1024)
+	if s16 <= 1 {
+		t.Errorf("no speedup at 16 ranks: %g", s16)
+	}
+	if s256 <= s16 {
+		t.Errorf("speedup not rising: s16=%g s256=%g", s16, s256)
+	}
+	if s1024 >= s256 {
+		t.Errorf("speedup did not fall in the comm-dominated regime: s256=%g s1024=%g", s256, s1024)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	_, err := Run(1, DefaultCostModel(), func(r *Rank) {
+		r.AdvanceTo(42)
+		if r.Clock() != 42 {
+			panic("AdvanceTo failed")
+		}
+		r.AdvanceTo(10) // never goes backward
+		if r.Clock() != 42 {
+			panic("AdvanceTo went backward")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicWallClock(t *testing.T) {
+	prog := func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			r.Compute(0.001 * float64(r.ID()+1))
+			r.Allreduce(Max, []float64{float64(i)})
+		}
+	}
+	w1, err := Run(16, DefaultCostModel(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Run(16, DefaultCostModel(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Errorf("wall clock not deterministic: %g vs %g", w1, w2)
+	}
+}

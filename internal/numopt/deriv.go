@@ -1,0 +1,44 @@
+package numopt
+
+import "math"
+
+// Derivative estimates f'(x) by central differences with a step scaled to
+// the magnitude of x. It backs the finite-difference cross-checks of the
+// paper's analytic gradients (Formulas 23/24) and the ablation solver that
+// locates N* without the analytic derivative.
+func Derivative(f Func, x float64) float64 {
+	h := 1e-6 * (1 + math.Abs(x))
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// DerivativeStep is Derivative with an explicit step size.
+func DerivativeStep(f Func, x, h float64) float64 {
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// SecondDerivative estimates f”(x) by central differences. Tests use it to
+// probe the sign of ∂²E(T_w)/∂x² and ∂²E(T_w)/∂N² (the convexity claims in
+// Sections III-A and III-C).
+func SecondDerivative(f Func, x float64) float64 {
+	h := 1e-4 * (1 + math.Abs(x))
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// PartialDerivative estimates ∂f/∂x_i of a multivariate function at point x.
+func PartialDerivative(f func([]float64) float64, x []float64, i int) float64 {
+	h := 1e-6 * (1 + math.Abs(x[i]))
+	xp := append([]float64(nil), x...)
+	xm := append([]float64(nil), x...)
+	xp[i] += h
+	xm[i] -= h
+	return (f(xp) - f(xm)) / (2 * h)
+}
+
+// Gradient estimates the full gradient of f at x by central differences.
+func Gradient(f func([]float64) float64, x []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = PartialDerivative(f, x, i)
+	}
+	return g
+}

@@ -1,0 +1,102 @@
+package numopt
+
+import (
+	"fmt"
+	"math"
+)
+
+// VecFunc maps a vector to a vector of the same length. It is the update map
+// of a multi-variable fixed-point iteration: x_{k+1} = F(x_k).
+type VecFunc func(x []float64) []float64
+
+// FixedPointResult reports the outcome of a fixed-point iteration.
+type FixedPointResult struct {
+	X          []float64 // final iterate
+	Iterations int       // iterations consumed
+	Residual   float64   // max |x_{k+1}-x_k| at termination
+	Converged  bool
+	History    []float64 // residual per iteration (diagnostic)
+}
+
+// FixedPointOptions tunes FixedPoint.
+type FixedPointOptions struct {
+	Tol      float64 // convergence threshold on max component change
+	MaxIter  int     // iteration cap
+	Damping  float64 // 0 = undamped; otherwise x <- (1-d)*F(x) + d*x
+	Relative bool    // measure residual relative to |x| instead of absolute
+	Record   bool    // record per-iteration residuals in History
+}
+
+// DefaultFixedPointOptions mirror the paper's solver settings: the error
+// threshold used in Section III-C is 1e-6 and convergence is reported in
+// well under 100 iterations.
+func DefaultFixedPointOptions() FixedPointOptions {
+	return FixedPointOptions{Tol: 1e-6, MaxIter: 10000}
+}
+
+// FixedPoint iterates x_{k+1} = F(x_k) from x0 until the largest component
+// change falls below opts.Tol. The paper's inner solver (Formulas 16/17 and
+// 23/24) and outer μ-refresh loop (Algorithm 1) are both instances of this
+// driver.
+func FixedPoint(f VecFunc, x0 []float64, opts FixedPointOptions) (FixedPointResult, error) {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10000
+	}
+	x := append([]float64(nil), x0...)
+	res := FixedPointResult{}
+	for k := 0; k < opts.MaxIter; k++ {
+		next := f(x)
+		if len(next) != len(x) {
+			return res, fmt.Errorf("numopt: fixed-point map changed dimension %d -> %d", len(x), len(next))
+		}
+		if opts.Damping > 0 {
+			for i := range next {
+				next[i] = (1-opts.Damping)*next[i] + opts.Damping*x[i]
+			}
+		}
+		worst := 0.0
+		for i := range next {
+			if math.IsNaN(next[i]) || math.IsInf(next[i], 0) {
+				res.X = x
+				res.Iterations = k + 1
+				return res, fmt.Errorf("numopt: fixed-point iterate diverged at component %d (value %g)", i, next[i])
+			}
+			d := math.Abs(next[i] - x[i])
+			if opts.Relative {
+				d /= 1 + math.Abs(x[i])
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if opts.Record {
+			res.History = append(res.History, worst)
+		}
+		x = next
+		if worst <= opts.Tol {
+			res.X = x
+			res.Iterations = k + 1
+			res.Residual = worst
+			res.Converged = true
+			return res, nil
+		}
+		res.Residual = worst
+	}
+	res.X = x
+	res.Iterations = opts.MaxIter
+	return res, ErrMaxIterations
+}
+
+// FixedPoint1D is the scalar convenience form of FixedPoint.
+func FixedPoint1D(f Func, x0 float64, opts FixedPointOptions) (float64, int, error) {
+	r, err := FixedPoint(func(x []float64) []float64 {
+		return []float64{f(x[0])}
+	}, []float64{x0}, opts)
+	if len(r.X) == 0 {
+		return x0, r.Iterations, err
+	}
+	return r.X[0], r.Iterations, err
+}

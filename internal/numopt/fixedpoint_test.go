@@ -1,0 +1,105 @@
+package numopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFixedPointCosine(t *testing.T) {
+	// x = cos(x) converges to the Dottie number from any start.
+	x, iters, err := FixedPoint1D(math.Cos, 1.0, FixedPointOptions{Tol: 1e-10, MaxIter: 1000})
+	if err != nil {
+		t.Fatalf("FixedPoint1D: %v", err)
+	}
+	if math.Abs(x-0.7390851332151607) > 1e-8 {
+		t.Errorf("x = %.12f, want Dottie number", x)
+	}
+	if iters <= 0 {
+		t.Error("iterations not reported")
+	}
+}
+
+func TestFixedPointVector(t *testing.T) {
+	// Contraction toward (2, 3): F(x) = (x + target)/2 componentwise.
+	target := []float64{2, 3}
+	f := func(x []float64) []float64 {
+		return []float64{(x[0] + target[0]) / 2, (x[1] + target[1]) / 2}
+	}
+	r, err := FixedPoint(f, []float64{100, -50}, FixedPointOptions{Tol: 1e-12, MaxIter: 200})
+	if err != nil {
+		t.Fatalf("FixedPoint: %v", err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-9 || math.Abs(r.X[1]-3) > 1e-9 {
+		t.Errorf("X = %v, want (2, 3)", r.X)
+	}
+	if !r.Converged {
+		t.Error("expected convergence")
+	}
+}
+
+func TestFixedPointDampingStabilizes(t *testing.T) {
+	// F(x) = -1.5x + 5 diverges undamped (|slope| > 1) but converges with
+	// damping 0.9: the damped map has slope (1-0.9)(-1.5)+0.9 = 0.65.
+	f := func(x []float64) []float64 { return []float64{-1.5*x[0] + 5} }
+	if _, err := FixedPoint(f, []float64{0}, FixedPointOptions{Tol: 1e-9, MaxIter: 100}); err == nil {
+		t.Fatal("undamped iteration unexpectedly converged")
+	}
+	r, err := FixedPoint(f, []float64{0}, FixedPointOptions{Tol: 1e-9, MaxIter: 2000, Damping: 0.9})
+	if err != nil {
+		t.Fatalf("damped FixedPoint: %v", err)
+	}
+	want := 2.0 // x = -1.5x+5 -> x = 2
+	if math.Abs(r.X[0]-want) > 1e-6 {
+		t.Errorf("X = %g, want %g", r.X[0], want)
+	}
+}
+
+func TestFixedPointDivergenceDetection(t *testing.T) {
+	f := func(x []float64) []float64 { return []float64{x[0]*x[0] + 1e30} }
+	_, err := FixedPoint(f, []float64{1}, FixedPointOptions{Tol: 1e-9, MaxIter: 100})
+	if err == nil {
+		t.Fatal("expected divergence error")
+	}
+	if errors.Is(err, ErrMaxIterations) {
+		t.Error("divergence should be reported as a distinct error, not ErrMaxIterations")
+	}
+}
+
+func TestFixedPointDimensionMismatch(t *testing.T) {
+	f := func(x []float64) []float64 { return []float64{1, 2} }
+	if _, err := FixedPoint(f, []float64{0}, DefaultFixedPointOptions()); err == nil {
+		t.Fatal("expected dimension-mismatch error")
+	}
+}
+
+func TestFixedPointHistory(t *testing.T) {
+	f := func(x []float64) []float64 { return []float64{x[0] / 2} }
+	r, err := FixedPoint(f, []float64{64}, FixedPointOptions{Tol: 1e-6, MaxIter: 100, Record: true})
+	if err != nil {
+		t.Fatalf("FixedPoint: %v", err)
+	}
+	if len(r.History) != r.Iterations {
+		t.Errorf("history length %d != iterations %d", len(r.History), r.Iterations)
+	}
+	for i := 1; i < len(r.History); i++ {
+		if r.History[i] > r.History[i-1] {
+			t.Errorf("residuals not monotone for a linear contraction: %v", r.History)
+			break
+		}
+	}
+}
+
+func TestFixedPointRelativeTolerance(t *testing.T) {
+	// Around a huge fixed point, absolute tolerance 1e-6 would need ~50
+	// extra iterations; relative tolerance converges sooner.
+	f := func(x []float64) []float64 { return []float64{x[0]/2 + 5e11} }
+	abs, errA := FixedPoint(f, []float64{0}, FixedPointOptions{Tol: 1e-6, MaxIter: 100})
+	rel, errR := FixedPoint(f, []float64{0}, FixedPointOptions{Tol: 1e-6, MaxIter: 100, Relative: true})
+	if errA != nil || errR != nil {
+		t.Fatalf("errors: %v, %v", errA, errR)
+	}
+	if rel.Iterations >= abs.Iterations {
+		t.Errorf("relative (%d iters) should converge before absolute (%d iters)", rel.Iterations, abs.Iterations)
+	}
+}

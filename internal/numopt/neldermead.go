@@ -1,0 +1,124 @@
+package numopt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions tunes the simplex search.
+type NelderMeadOptions struct {
+	Tol     float64 // stop when the simplex's value spread falls below Tol (relative)
+	MaxIter int
+	Scale   float64 // initial simplex size relative to |x0| (default 0.05)
+}
+
+// NelderMead minimizes f over R^n by the derivative-free Nelder–Mead
+// simplex method. It exists as an independent cross-check of the paper's
+// fixed-point solvers: the two approaches share no code, so their
+// agreement on the multilevel optimum is strong evidence for both.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) (MinResult, []float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return MinResult{}, nil, fmt.Errorf("%w: empty start point", ErrInvalidInterval)
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200 * n
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 0.05
+	}
+
+	// Initial simplex: x0 plus one perturbed vertex per dimension.
+	simplex := make([][]float64, n+1)
+	values := make([]float64, n+1)
+	simplex[0] = append([]float64(nil), x0...)
+	for i := 1; i <= n; i++ {
+		v := append([]float64(nil), x0...)
+		step := opts.Scale * (1 + math.Abs(v[i-1]))
+		v[i-1] += step
+		simplex[i] = v
+	}
+	for i := range simplex {
+		values[i] = f(simplex[i])
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	order := make([]int, n+1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+		best, worst := order[0], order[n]
+		spread := math.Abs(values[worst]-values[best]) / (1 + math.Abs(values[best]))
+		if spread < opts.Tol {
+			return MinResult{X: math.NaN(), F: values[best], Iterations: iter, Converged: true},
+				append([]float64(nil), simplex[best]...), nil
+		}
+
+		// Centroid of all but the worst.
+		centroid := make([]float64, n)
+		for _, idx := range order[:n] {
+			for j := range centroid {
+				centroid[j] += simplex[idx][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		point := func(coef float64) []float64 {
+			out := make([]float64, n)
+			for j := range out {
+				out[j] = centroid[j] + coef*(centroid[j]-simplex[worst][j])
+			}
+			return out
+		}
+
+		refl := point(alpha)
+		fRefl := f(refl)
+		switch {
+		case fRefl < values[order[0]]:
+			// Try expanding.
+			exp := point(alpha * gamma)
+			if fExp := f(exp); fExp < fRefl {
+				simplex[worst], values[worst] = exp, fExp
+			} else {
+				simplex[worst], values[worst] = refl, fRefl
+			}
+		case fRefl < values[order[n-1]]:
+			simplex[worst], values[worst] = refl, fRefl
+		default:
+			// Contract.
+			con := point(-rho)
+			if fCon := f(con); fCon < values[worst] {
+				simplex[worst], values[worst] = con, fCon
+			} else {
+				// Shrink toward the best vertex.
+				bestV := simplex[best]
+				for _, idx := range order[1:] {
+					for j := range simplex[idx] {
+						simplex[idx][j] = bestV[j] + sigma*(simplex[idx][j]-bestV[j])
+					}
+					values[idx] = f(simplex[idx])
+				}
+			}
+		}
+	}
+	bi := 0
+	for i := range values {
+		if values[i] < values[bi] {
+			bi = i
+		}
+	}
+	return MinResult{F: values[bi], Iterations: opts.MaxIter},
+		append([]float64(nil), simplex[bi]...), ErrMaxIterations
+}

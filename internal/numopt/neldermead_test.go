@@ -1,0 +1,73 @@
+package numopt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	res, x, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatalf("NelderMead: %v", err)
+	}
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+1) > 1e-4 {
+		t.Errorf("x = %v, want (3, -1)", x)
+	}
+	if res.F > 1e-8 {
+		t.Errorf("f = %g", res.F)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	_, x, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000, Tol: 1e-14})
+	if err != nil {
+		t.Fatalf("NelderMead: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("x = %v, want (1, 1)", x)
+	}
+}
+
+func TestNelderMeadHigherDimension(t *testing.T) {
+	// 5-D shifted sphere.
+	target := []float64{1, -2, 3, -4, 5}
+	f := func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+	_, x, err := NelderMead(f, make([]float64, 5), NelderMeadOptions{MaxIter: 20000, Tol: 1e-14})
+	if err != nil {
+		t.Fatalf("NelderMead: %v", err)
+	}
+	for i := range target {
+		if math.Abs(x[i]-target[i]) > 1e-3 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], target[i])
+		}
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Error("empty start accepted")
+	}
+}
+
+func TestNelderMeadMaxIter(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] } // unbounded below
+	_, _, err := NelderMead(f, []float64{0}, NelderMeadOptions{MaxIter: 10})
+	if err == nil {
+		t.Error("unbounded problem converged")
+	}
+}

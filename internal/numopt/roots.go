@@ -1,0 +1,202 @@
+// Package numopt provides the numerical-optimization substrate used by the
+// checkpoint-model solvers: root finding, fixed-point iteration, 1-D
+// minimization, dense linear algebra, least-squares fitting, and
+// finite-difference derivatives.
+//
+// Go's standard library has no numerical-optimization facilities, so every
+// routine here is implemented from scratch on top of package math. The
+// routines favor robustness over raw speed: the solvers in internal/core
+// call them a few hundred times per optimization, never in tight loops.
+package numopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrMaxIterations is returned when an iterative routine fails to reach its
+// tolerance within the allowed number of iterations.
+var ErrMaxIterations = errors.New("numopt: maximum iterations exceeded")
+
+// ErrNoBracket is returned when a root-finding routine is given an interval
+// that does not bracket a sign change.
+var ErrNoBracket = errors.New("numopt: interval does not bracket a root")
+
+// ErrInvalidInterval is returned when an interval's bounds are not ordered
+// or not finite.
+var ErrInvalidInterval = errors.New("numopt: invalid interval")
+
+// Func is a scalar function of one variable.
+type Func func(x float64) float64
+
+// RootResult reports the outcome of a root-finding run.
+type RootResult struct {
+	Root       float64 // abscissa of the located root
+	FRoot      float64 // function value at Root
+	Iterations int     // iterations consumed
+	Converged  bool    // whether the tolerance was met
+}
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs (an endpoint that is exactly zero is returned immediately).
+// The iteration stops when the interval width falls below tol or after
+// maxIter halvings. Bisection is the workhorse for the scale equation
+// (Formula 17 / 24 in the paper) because the first derivative of E(T_w) with
+// respect to N is monotone on [0, N^(*)], guaranteeing a unique bracketed
+// root when one exists.
+func Bisect(f Func, a, b, tol float64, maxIter int) (RootResult, error) {
+	if math.IsNaN(a) || math.IsNaN(b) || a >= b {
+		return RootResult{}, fmt.Errorf("%w: [%g, %g]", ErrInvalidInterval, a, b)
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return RootResult{Root: a, FRoot: 0, Converged: true}, nil
+	}
+	if fb == 0 {
+		return RootResult{Root: b, FRoot: 0, Converged: true}, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return RootResult{}, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	var mid, fm float64
+	for i := 0; i < maxIter; i++ {
+		mid = a + (b-a)/2
+		fm = f(mid)
+		if fm == 0 || (b-a)/2 < tol {
+			return RootResult{Root: mid, FRoot: fm, Iterations: i + 1, Converged: true}, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = mid, fm
+		} else {
+			b = mid
+		}
+	}
+	return RootResult{Root: mid, FRoot: fm, Iterations: maxIter}, ErrMaxIterations
+}
+
+// Brent finds a root of f in a bracketing interval [a, b] using Brent's
+// method (inverse quadratic interpolation guarded by bisection). It
+// converges superlinearly on smooth functions while retaining bisection's
+// robustness.
+func Brent(f Func, a, b, tol float64, maxIter int) (RootResult, error) {
+	if math.IsNaN(a) || math.IsNaN(b) || a >= b {
+		return RootResult{}, fmt.Errorf("%w: [%g, %g]", ErrInvalidInterval, a, b)
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return RootResult{Root: a, Converged: true}, nil
+	}
+	if fb == 0 {
+		return RootResult{Root: b, Converged: true}, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return RootResult{}, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the best guess.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return RootResult{Root: b, FRoot: fb, Iterations: i, Converged: true}, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = a + (b-a)/2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return RootResult{Root: b, FRoot: fb, Iterations: maxIter}, ErrMaxIterations
+}
+
+// Newton finds a root of f starting from x0 using Newton-Raphson with the
+// supplied derivative df. It falls back on halving the step when an iterate
+// leaves the finite domain. Newton is used in tests to cross-check the
+// bisection-based solvers.
+func Newton(f, df Func, x0, tol float64, maxIter int) (RootResult, error) {
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) < tol {
+			return RootResult{Root: x, FRoot: fx, Iterations: i, Converged: true}, nil
+		}
+		d := df(x)
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return RootResult{Root: x, FRoot: fx, Iterations: i}, fmt.Errorf("numopt: Newton derivative degenerate at x=%g", x)
+		}
+		step := fx / d
+		next := x - step
+		for j := 0; j < 60 && (math.IsNaN(f(next)) || math.IsInf(f(next), 0)); j++ {
+			step /= 2
+			next = x - step
+		}
+		if math.Abs(next-x) < tol*(1+math.Abs(x)) {
+			return RootResult{Root: next, FRoot: f(next), Iterations: i + 1, Converged: true}, nil
+		}
+		x = next
+	}
+	return RootResult{Root: x, FRoot: f(x), Iterations: maxIter}, ErrMaxIterations
+}
+
+// BracketRoot expands outward from [a, b] by the given growth factor until
+// f changes sign across the interval or maxExpand expansions have been
+// tried. It returns the bracketing interval.
+func BracketRoot(f Func, a, b, factor float64, maxExpand int) (float64, float64, error) {
+	if a >= b {
+		return 0, 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidInterval, a, b)
+	}
+	if factor <= 1 {
+		factor = 1.6
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) {
+			return a, b, nil
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a -= factor * (b - a)
+			fa = f(a)
+		} else {
+			b += factor * (b - a)
+			fb = f(b)
+		}
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,174 @@
+package numopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 4 }
+	r, err := Bisect(f, 0, 10, 1e-10, 200)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if math.Abs(r.Root-2) > 1e-9 {
+		t.Errorf("root = %g, want 2", r.Root)
+	}
+	if !r.Converged {
+		t.Error("expected convergence")
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 3 }
+	r, err := Bisect(f, 3, 10, 1e-10, 100)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if r.Root != 3 {
+		t.Errorf("root = %g, want exactly 3", r.Root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	_, err := Bisect(f, -1, 1, 1e-10, 100)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectInvalidInterval(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := Bisect(f, 2, 1, 1e-10, 100); !errors.Is(err, ErrInvalidInterval) {
+		t.Errorf("err = %v, want ErrInvalidInterval", err)
+	}
+	if _, err := Bisect(f, math.NaN(), 1, 1e-10, 100); !errors.Is(err, ErrInvalidInterval) {
+		t.Errorf("NaN bound: err = %v, want ErrInvalidInterval", err)
+	}
+}
+
+func TestBisectMaxIterations(t *testing.T) {
+	f := func(x float64) float64 { return x - math.Pi }
+	_, err := Bisect(f, -1e18, 1e18, 1e-300, 3)
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Errorf("err = %v, want ErrMaxIterations", err)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// cos(x) = x has its root near 0.7390851332151607.
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	r, err := Brent(f, 0, 1, 1e-12, 200)
+	if err != nil {
+		t.Fatalf("Brent: %v", err)
+	}
+	if math.Abs(r.Root-0.7390851332151607) > 1e-9 {
+		t.Errorf("root = %.12f, want 0.739085133215", r.Root)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Func
+		a, b float64
+	}{
+		{"cubic", func(x float64) float64 { return x*x*x - 2*x - 5 }, 1, 3},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 10 }, 0, 5},
+		{"log", func(x float64) float64 { return math.Log(x) - 1 }, 1, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rb, err := Bisect(tc.f, tc.a, tc.b, 1e-12, 400)
+			if err != nil {
+				t.Fatalf("Bisect: %v", err)
+			}
+			rr, err := Brent(tc.f, tc.a, tc.b, 1e-12, 400)
+			if err != nil {
+				t.Fatalf("Brent: %v", err)
+			}
+			if math.Abs(rb.Root-rr.Root) > 1e-8 {
+				t.Errorf("Bisect %g vs Brent %g", rb.Root, rr.Root)
+			}
+			if rr.Iterations > rb.Iterations {
+				t.Logf("note: Brent used %d iters vs bisect %d", rr.Iterations, rb.Iterations)
+			}
+		})
+	}
+}
+
+func TestNewtonSqrt(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 612 }
+	df := func(x float64) float64 { return 2 * x }
+	r, err := Newton(f, df, 10, 1e-12, 100)
+	if err != nil {
+		t.Fatalf("Newton: %v", err)
+	}
+	if math.Abs(r.Root-math.Sqrt(612)) > 1e-6 {
+		t.Errorf("root = %g, want %g", r.Root, math.Sqrt(612))
+	}
+}
+
+func TestNewtonDegenerateDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 } // no real root
+	df := func(x float64) float64 { return 2 * x }
+	if _, err := Newton(f, df, 0, 1e-12, 50); err == nil {
+		t.Error("expected an error for zero derivative at start")
+	}
+}
+
+func TestBracketRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	a, b, err := BracketRoot(f, 0, 1, 2, 60)
+	if err != nil {
+		t.Fatalf("BracketRoot: %v", err)
+	}
+	if !(f(a) < 0 && f(b) > 0) {
+		t.Errorf("not a bracket: f(%g)=%g, f(%g)=%g", a, f(a), b, f(b))
+	}
+}
+
+func TestBracketRootFailure(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, _, err := BracketRoot(f, -1, 1, 2, 10); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+// Property: for any monotone linear function with a root inside the
+// interval, bisection locates it to tolerance.
+func TestBisectPropertyLinear(t *testing.T) {
+	prop := func(slope, root float64) bool {
+		s := 0.5 + math.Mod(math.Abs(slope), 10) // slope in [0.5, 10.5)
+		r := math.Mod(root, 100)                 // root in (-100, 100)
+		f := func(x float64) float64 { return s * (x - r) }
+		res, err := Bisect(f, r-150, r+151, 1e-9, 300)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Root-r) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Brent agrees with bisection on randomized cubics that bracket.
+func TestBrentPropertyCubic(t *testing.T) {
+	prop := func(shift float64) bool {
+		c := math.Mod(math.Abs(shift), 50)
+		f := func(x float64) float64 { return x*x*x - c }
+		want := math.Cbrt(c)
+		res, err := Brent(f, -1, c+2, 1e-10, 500)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Root-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package overhead
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitSaturating fits a saturating-linear cost c(N) = ε + α·min(N, cap) to
+// one level's characterization data by grid-searching the cap over the
+// observed scales (and beyond) and least-squares fitting (ε, α) for each
+// candidate. It returns the model with the smallest residual sum of
+// squares.
+//
+// This is how a characterization that extends far enough to see the PFS
+// plateau would be fitted; the paper's Table II stops at 1,024 cores, so
+// the repository's ExascaleCosts sets the cap from physical reasoning
+// instead (see DESIGN.md).
+func FitSaturating(scales, costs []float64) (Cost, error) {
+	if len(scales) != len(costs) || len(scales) < 3 {
+		return Cost{}, fmt.Errorf("%w: need ≥3 matched samples, have %d/%d",
+			ErrCharacterize, len(scales), len(costs))
+	}
+	maxScale := scales[0]
+	for _, s := range scales {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	// Candidate caps: every observed scale plus "no cap" (beyond the data).
+	candidates := append(append([]float64(nil), scales...), maxScale*2, math.Inf(1))
+	best := Cost{}
+	bestRSS := math.Inf(1)
+	for _, cap := range candidates {
+		// Design: y = ε + α·min(N, cap).
+		sumX, sumY, sumXX, sumXY := 0.0, 0.0, 0.0, 0.0
+		n := float64(len(scales))
+		for i, s := range scales {
+			x := s
+			if x > cap {
+				x = cap
+			}
+			sumX += x
+			sumY += costs[i]
+			sumXX += x * x
+			sumXY += x * costs[i]
+		}
+		den := n*sumXX - sumX*sumX
+		if math.Abs(den) < 1e-12 {
+			continue
+		}
+		alpha := (n*sumXY - sumX*sumY) / den
+		eps := (sumY - alpha*sumX) / n
+		if alpha < 0 {
+			continue // costs do not decrease with scale in this model
+		}
+		rss := 0.0
+		for i, s := range scales {
+			x := s
+			if x > cap {
+				x = cap
+			}
+			d := costs[i] - (eps + alpha*x)
+			rss += d * d
+		}
+		if rss < bestRSS {
+			bestRSS = rss
+			c := Cost{Const: eps, Coeff: alpha, H: LinearN}
+			if !math.IsInf(cap, 1) {
+				c.Cap = cap
+			}
+			if alpha == 0 {
+				c.H = Zero
+			}
+			best = c
+		}
+	}
+	if math.IsInf(bestRSS, 1) {
+		return Cost{}, fmt.Errorf("%w: no admissible saturating fit", ErrCharacterize)
+	}
+	return best, nil
+}

@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/sim"
+	"mlckpt/internal/speedup"
+	"mlckpt/internal/stats"
+)
+
+// Example simulates one checkpointed execution and prints its breakdown
+// structure.
+func Example() {
+	params := &model.Params{
+		Te:      100 * failure.SecondsPerDay, // 100 core-days
+		Speedup: speedup.Quadratic{Kappa: 0.5, NStar: 1e4},
+		Levels: overhead.SymmetricLevels([]overhead.Cost{
+			overhead.Constant(1), overhead.Constant(3),
+			overhead.Constant(5), overhead.Constant(20),
+		}, 0.5),
+		Alloc: 10,
+		Rates: failure.MustParseRates("8-4-2-1", 1e4),
+	}
+	cfg := sim.Config{
+		Params: params,
+		N:      8000,
+		X:      []float64{60, 30, 12, 6},
+	}
+	res, err := sim.Run(cfg, stats.NewRNG(42))
+	if err != nil {
+		panic(err)
+	}
+	sum := res.Productive + res.Checkpoint + res.Restart + res.Rollback
+	fmt.Printf("portions cover the wall clock: %v\n", sum > 0.999*res.WallClock)
+	fmt.Printf("completed: %v\n", !res.Truncated)
+	// Output:
+	// portions cover the wall clock: true
+	// completed: true
+}

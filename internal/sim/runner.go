@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mlckpt/internal/stats"
+)
+
+// Aggregate summarizes a batch of runs (the paper reports means over 100
+// runs per configuration).
+type Aggregate struct {
+	Runs       int
+	WallClock  stats.Summary
+	Productive stats.Summary
+	Checkpoint stats.Summary
+	Restart    stats.Summary
+	Rollback   stats.Summary
+	Failures   stats.Summary // total failures per run
+	Truncated  int           // runs cut off at MaxWallClock
+}
+
+// RunMany executes runs independent simulations in parallel (one RNG stream
+// per run, all derived deterministically from seed) and returns the
+// per-run results in run order.
+func RunMany(cfg Config, runs int, seed uint64) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("%w: runs = %d", ErrConfig, runs)
+	}
+	// Derive one independent RNG per run up front so results do not depend
+	// on goroutine scheduling.
+	root := stats.NewRNG(seed)
+	rngs := make([]*stats.RNG, runs)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+
+	results := make([]Result, runs)
+	errs := make([]error, runs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = Run(cfg, rngs[i])
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Summarize aggregates a batch of results.
+func Summarize(results []Result) Aggregate {
+	agg := Aggregate{Runs: len(results)}
+	wct := make([]float64, len(results))
+	prod := make([]float64, len(results))
+	ckpt := make([]float64, len(results))
+	rst := make([]float64, len(results))
+	rb := make([]float64, len(results))
+	fl := make([]float64, len(results))
+	for i, r := range results {
+		wct[i] = r.WallClock
+		prod[i] = r.Productive
+		ckpt[i] = r.Checkpoint
+		rst[i] = r.Restart
+		rb[i] = r.Rollback
+		fl[i] = float64(r.TotalFailures())
+		if r.Truncated {
+			agg.Truncated++
+		}
+	}
+	agg.WallClock = stats.Summarize(wct)
+	agg.Productive = stats.Summarize(prod)
+	agg.Checkpoint = stats.Summarize(ckpt)
+	agg.Restart = stats.Summarize(rst)
+	agg.Rollback = stats.Summarize(rb)
+	agg.Failures = stats.Summarize(fl)
+	return agg
+}
+
+// Simulate is the convenience composition of RunMany and Summarize.
+func Simulate(cfg Config, runs int, seed uint64) (Aggregate, error) {
+	results, err := RunMany(cfg, runs, seed)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return Summarize(results), nil
+}

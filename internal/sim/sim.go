@@ -1,0 +1,440 @@
+// Package sim is the exascale execution simulator: it plays out one run of
+// an application protected by the multilevel checkpoint model, with
+// periodic per-level checkpoints, randomly arriving failures whose rates
+// grow with the execution scale, level-aware rollback, resource
+// reallocation, and recovery — the stochastic counterpart of the analytic
+// model in internal/model (Section IV-A of the paper).
+//
+// The paper's simulator is tick-driven (1 tick = 1 second); this one is
+// event-driven in continuous time, which is statistically identical for
+// exponential arrivals and orders of magnitude faster, letting the
+// 100-run × 6-case × 4-solution sweeps of Figures 5–7 finish in seconds.
+// A tick-driven twin (RunTicks) exists for the equivalence ablation.
+//
+// Semantics:
+//
+//   - Productive progress is measured in parallel seconds; the run
+//     completes when progress reaches P = T_e/g(N).
+//   - Level i schedules x_i − 1 checkpoints at equidistant progress marks.
+//     When several levels are due at the same mark, only the highest level
+//     checkpoints (its file can restore any lower-class failure).
+//   - A class-c failure rolls execution back to the furthest completed
+//     checkpoint of level ≥ c (or to the start), then pays the allocation
+//     period A plus the class's recovery cost R_c(N).
+//   - Failures can strike during checkpoints (the checkpoint aborts) and
+//     during recovery (recovery restarts, possibly from an older
+//     checkpoint if the new failure's class is higher).
+//   - Checkpoint/recovery durations are jittered by a uniform relative
+//     error (the paper uses up to 30%).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/stats"
+)
+
+// ErrConfig is returned for invalid simulation configurations.
+var ErrConfig = errors.New("sim: invalid configuration")
+
+// Config describes one simulated execution.
+type Config struct {
+	Params *model.Params // application + checkpoint levels + failure rates
+	N      float64       // execution scale (cores)
+	X      []float64     // interval counts per level; x_i = 1 means no checkpoints at level i
+
+	JitterRatio  float64              // relative jitter on overheads (paper: up to 0.3)
+	Dist         failure.Distribution // interarrival law (default exponential)
+	WeibullShape float64              // shape when Dist == Weibull
+
+	// MaxWallClock truncates pathological runs (e.g. single-level
+	// checkpointing at full scale under high failure rates, where expected
+	// completion time is years). Zero means 20x the analytic-model-free
+	// bound of 4000 days.
+	MaxWallClock float64
+
+	// DisableFailuresDuringCkpt / ...Recovery suppress failures inside the
+	// respective windows, for the ablation mirroring the paper's
+	// simplifying assumption (footnote to Formula 5: failure-over-recovery
+	// is rare and ignored by the model, but the simulator covers it).
+	DisableFailuresDuringCkpt     bool
+	DisableFailuresDuringRecovery bool
+
+	// CorrelationWindow, when positive, merges failures of class ≤ c that
+	// arrive within this many seconds of a class-c failure into that
+	// event: they are counted as absorbed and trigger no additional
+	// rollback or recovery. This models the paper's footnote 1
+	// (simultaneous failures within a 1–2 minute correlated window count
+	// as one event).
+	CorrelationWindow float64
+
+	// RecordEvents captures a full execution trace in Result.Events.
+	RecordEvents bool
+
+	// Replay, when non-nil, feeds failures from this fixed trace (sorted
+	// by time) instead of sampling the stochastic process — for replaying
+	// a recorded run or a real system's failure log deterministically.
+	// Rates in Params are ignored for arrival times; events with a level
+	// beyond the configured hierarchy are clamped to the top class.
+	Replay []failure.Event
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Params == nil {
+		return fmt.Errorf("%w: nil params", ErrConfig)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.N <= 0 {
+		return fmt.Errorf("%w: scale %g", ErrConfig, c.N)
+	}
+	if len(c.X) != c.Params.L() {
+		return fmt.Errorf("%w: %d interval counts for %d levels", ErrConfig, len(c.X), c.Params.L())
+	}
+	for i, x := range c.X {
+		if x < 1 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: x_%d = %g", ErrConfig, i+1, x)
+		}
+	}
+	if c.JitterRatio < 0 || c.JitterRatio >= 1 {
+		return fmt.Errorf("%w: jitter ratio %g", ErrConfig, c.JitterRatio)
+	}
+	return nil
+}
+
+// Result is the outcome of one simulated run. The four time portions are
+// the paper's Figure 5 decomposition; they sum to WallClock.
+type Result struct {
+	WallClock  float64 // total seconds from launch to completion
+	Productive float64 // first-time useful work (≈ T_e/g(N))
+	Checkpoint float64 // first-time checkpoint overhead
+	Restart    float64 // allocation + recovery time
+	Rollback   float64 // re-executed work, re-taken and aborted checkpoints
+
+	Failures         []int // failures observed per level class
+	CheckpointsTaken []int // completed checkpoints per level (incl. re-taken)
+	Absorbed         int   // failures merged into a correlated window
+	Truncated        bool  // MaxWallClock hit before completion
+
+	Events []TraceEvent // populated when Config.RecordEvents is set
+}
+
+// TotalFailures sums the per-class failure counts.
+func (r Result) TotalFailures() int {
+	t := 0
+	for _, v := range r.Failures {
+		t += v
+	}
+	return t
+}
+
+// Efficiency returns the wall-clock efficiency of the run for a workload of
+// te single-core seconds.
+func (r Result) Efficiency(te, n float64) float64 {
+	return model.Efficiency(te, r.WallClock, n)
+}
+
+// Run simulates one execution with the given RNG.
+func Run(cfg Config, rng *stats.RNG) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := cfg.Params
+	L := p.L()
+	n := cfg.N
+	P := p.ProductiveTime(n)
+	if math.IsInf(P, 0) || P <= 0 {
+		return Result{}, fmt.Errorf("%w: productive time %g at N=%g", ErrConfig, P, n)
+	}
+	maxWall := cfg.MaxWallClock
+	if maxWall <= 0 {
+		maxWall = 4000 * failure.SecondsPerDay * 20
+	}
+
+	// Per-level checkpoint period in progress seconds.
+	tau := make([]float64, L)
+	nextMark := make([]int, L) // next interval index to checkpoint (1..x_i-1)
+	for i := range tau {
+		tau[i] = P / cfg.X[i]
+		nextMark[i] = 1
+	}
+	markProgress := func(i int) float64 {
+		if float64(nextMark[i]) >= cfg.X[i]-1e-9 {
+			return math.Inf(1) // no checkpoint at the very end of the run
+		}
+		return float64(nextMark[i]) * tau[i]
+	}
+
+	res := Result{
+		Failures:         make([]int, L),
+		CheckpointsTaken: make([]int, L),
+	}
+	lastCkpt := make([]float64, L)     // progress of newest completed ckpt per level (0 = start)
+	furthestCkpt := make([]float64, L) // furthest progress ever checkpointed per level
+	for i := range furthestCkpt {
+		furthestCkpt[i] = -1
+	}
+
+	// Failure source: a stochastic process by default, or a fixed replay
+	// trace (recorded from another run, or imported from a real system's
+	// failure log).
+	var draw func(from float64) (failure.Event, bool)
+	if cfg.Replay != nil {
+		idx := 0
+		trace := cfg.Replay
+		draw = func(from float64) (failure.Event, bool) {
+			if idx >= len(trace) {
+				return failure.Event{}, false
+			}
+			ev := trace[idx]
+			idx++
+			if ev.Level < 0 || ev.Level >= L {
+				// Clamp foreign traces with more classes than levels.
+				ev.Level = L - 1
+			}
+			if ev.Time < from {
+				ev.Time = from
+			}
+			return ev, true
+		}
+	} else {
+		proc := failure.NewProcess(p.Rates, n, cfg.Dist, cfg.WeibullShape, rng)
+		draw = proc.Next
+	}
+	var pendingFail failure.Event
+	havePending := false
+	nextFailure := func(from float64) (failure.Event, bool) {
+		if havePending {
+			if pendingFail.Time < from {
+				pendingFail.Time = from
+			}
+			return pendingFail, true
+		}
+		ev, ok := draw(from)
+		if ok {
+			pendingFail, havePending = ev, true
+		}
+		return ev, ok
+	}
+	consumeFailure := func() { havePending = false }
+
+	wall := 0.0     // wall-clock seconds
+	progress := 0.0 // parallel productive seconds completed
+	furthest := 0.0 // furthest progress ever reached
+
+	record := func(kind EventKind, level int) {
+		if cfg.RecordEvents {
+			res.Events = append(res.Events, TraceEvent{Time: wall, Kind: kind, Level: level, Progress: progress})
+		}
+	}
+
+	// strike applies the storage damage and rollback of a class-c failure:
+	// checkpoints below level c are destroyed (their storage died with the
+	// failure), and execution restores to the furthest checkpoint of level
+	// ≥ c (all of which lie at or before that point by construction). It
+	// returns the level restored from — the cheapest level holding the
+	// restore point — or -1 when execution restarts from scratch.
+	strike := func(c int) int {
+		q := 0.0
+		for i := c; i < L; i++ {
+			if lastCkpt[i] > q {
+				q = lastCkpt[i]
+			}
+		}
+		for i := 0; i < c; i++ {
+			lastCkpt[i] = 0
+		}
+		if q < progress {
+			progress = q
+		}
+		for i := range nextMark {
+			nextMark[i] = int(progress/tau[i]+1e-9) + 1
+		}
+		if q <= 0 {
+			return -1
+		}
+		for i := c; i < L; i++ {
+			if lastCkpt[i] == q {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// handleFailure processes a class-c failure at the current wall time:
+	// rollback, allocation, recovery, and any failures during recovery.
+	// The recovery overhead charged is the RESTORING level's, not the
+	// failure class's: a class-1 fault in a PFS-only deployment still pays
+	// the PFS read — which is what makes the single-level baselines
+	// collapse at scale (the paper's ~890-day SL(ori-scale) in Table IV).
+	handleFailure := func(c int) {
+		res.Failures[c]++
+		record(EvFailure, c)
+		restoreLvl := strike(c)
+		// Correlated-window merge (paper footnote 1): failures of class
+		// ≤ c arriving within the window belong to this event.
+		if cfg.CorrelationWindow > 0 {
+			for {
+				ev, ok := nextFailure(wall)
+				if !ok || ev.Time > wall+cfg.CorrelationWindow || ev.Level > c {
+					break
+				}
+				consumeFailure()
+				res.Absorbed++
+				record(EvAbsorbedFailure, ev.Level)
+			}
+		}
+		// Allocation + recovery, restarting on failures inside the window.
+		for {
+			dur := p.Alloc
+			if restoreLvl >= 0 {
+				dur += rng.Jitter(p.Levels[restoreLvl].Recovery.At(n), cfg.JitterRatio)
+			}
+			if cfg.DisableFailuresDuringRecovery {
+				wall += dur
+				res.Restart += dur
+				record(EvRecoveryDone, restoreLvl)
+				return
+			}
+			ev, ok := nextFailure(wall)
+			if !ok || ev.Time >= wall+dur {
+				wall += dur
+				res.Restart += dur
+				record(EvRecoveryDone, restoreLvl)
+				return
+			}
+			// Failure during recovery: the elapsed slice still counts as
+			// restart time; recovery begins again, possibly from an older
+			// checkpoint if the new class is higher.
+			consumeFailure()
+			res.Restart += ev.Time - wall
+			wall = ev.Time
+			res.Failures[ev.Level]++
+			record(EvFailure, ev.Level)
+			if ev.Level > c {
+				c = ev.Level
+			}
+			restoreLvl = strike(c)
+		}
+	}
+
+	for progress < P {
+		if wall > maxWall {
+			res.Truncated = true
+			break
+		}
+		// Next due checkpoint mark: the earliest mark over levels; at equal
+		// marks the HIGHEST level wins and lower ones are skipped.
+		dueProgress := math.Inf(1)
+		dueLevel := -1
+		for i := L - 1; i >= 0; i-- {
+			m := markProgress(i)
+			if m < dueProgress-1e-9 {
+				dueProgress, dueLevel = m, i
+			} else if m < dueProgress+1e-9 && i > dueLevel {
+				dueLevel = i
+			}
+		}
+		segEnd := math.Min(dueProgress, P)
+
+		// --- Productive segment [progress, segEnd) ---
+		segDur := segEnd - progress
+		if segDur > 0 {
+			ev, ok := nextFailure(wall)
+			if ok && ev.Time < wall+segDur {
+				// Failure mid-segment.
+				consumeFailure()
+				ran := ev.Time - wall
+				advanceWork(&res, progress, progress+ran, furthest)
+				progress += ran
+				if progress > furthest {
+					furthest = progress
+				}
+				wall = ev.Time
+				handleFailure(ev.Level)
+				continue
+			}
+			advanceWork(&res, progress, segEnd, furthest)
+			wall += segDur
+			progress = segEnd
+			if progress > furthest {
+				furthest = progress
+			}
+		}
+		if progress >= P {
+			break
+		}
+
+		// --- Checkpoint at dueProgress, level dueLevel ---
+		dur := rng.Jitter(p.Levels[dueLevel].Checkpoint.At(n), cfg.JitterRatio)
+		redo := progress <= furthestCkpt[dueLevel]+1e-9
+		ev, ok := failure.Event{}, false
+		if !cfg.DisableFailuresDuringCkpt {
+			ev, ok = nextFailure(wall)
+		}
+		if ok && ev.Time < wall+dur {
+			// Checkpoint aborted by a failure: elapsed time is wasted.
+			consumeFailure()
+			wasted := ev.Time - wall
+			if redo {
+				res.Rollback += wasted
+			} else {
+				res.Checkpoint += wasted
+			}
+			wall = ev.Time
+			record(EvCheckpointAbort, dueLevel)
+			handleFailure(ev.Level)
+			continue
+		}
+		wall += dur
+		if redo {
+			res.Rollback += dur
+		} else {
+			res.Checkpoint += dur
+		}
+		record(EvCheckpointDone, dueLevel)
+		res.CheckpointsTaken[dueLevel]++
+		lastCkpt[dueLevel] = progress
+		if progress > furthestCkpt[dueLevel] {
+			furthestCkpt[dueLevel] = progress
+		}
+		// Advance the mark of this level and skip any lower-level mark due
+		// at the same progress point: the higher-level file restores those
+		// failure classes too (the restore lookup scans all levels ≥ c),
+		// so a separate lower-level checkpoint there would be pure waste.
+		for i := 0; i <= dueLevel; i++ {
+			if m := markProgress(i); !math.IsInf(m, 1) && m < progress+1e-9 {
+				nextMark[i]++
+			}
+		}
+	}
+
+	res.WallClock = wall
+	record(EvCompletion, -1)
+	return res, nil
+}
+
+// advanceWork attributes a slice of executed work [from, to) to Productive
+// (first-time) or Rollback (re-execution) based on the furthest progress
+// previously reached.
+func advanceWork(res *Result, from, to, furthest float64) {
+	if to <= from {
+		return
+	}
+	if from >= furthest {
+		res.Productive += to - from
+		return
+	}
+	if to <= furthest {
+		res.Rollback += to - from
+		return
+	}
+	res.Rollback += furthest - from
+	res.Productive += to - furthest
+}

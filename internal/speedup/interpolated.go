@@ -1,0 +1,99 @@
+package speedup
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interpolated is a piecewise-linear speedup model built directly from
+// measured (scale, speedup) samples — for applications whose curves fit
+// neither the quadratic Formula (12) nor the classical laws. Between
+// samples it interpolates linearly; below the first sample it draws a line
+// through the origin; above the last sample it holds the last value flat
+// (never extrapolating optimism).
+type Interpolated struct {
+	ns []float64
+	gs []float64
+}
+
+// NewInterpolated builds the model from samples. At least two samples with
+// distinct, positive scales are required; duplicates are rejected.
+func NewInterpolated(samples []Sample) (*Interpolated, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 samples, have %d", ErrFit, len(samples))
+	}
+	sorted := append([]Sample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].N < sorted[j].N })
+	m := &Interpolated{}
+	for _, s := range sorted {
+		if s.N <= 0 {
+			return nil, fmt.Errorf("%w: non-positive scale %g", ErrFit, s.N)
+		}
+		if s.Speedup < 0 {
+			return nil, fmt.Errorf("%w: negative speedup %g", ErrFit, s.Speedup)
+		}
+		if len(m.ns) > 0 && s.N == m.ns[len(m.ns)-1] {
+			return nil, fmt.Errorf("%w: duplicate scale %g", ErrFit, s.N)
+		}
+		m.ns = append(m.ns, s.N)
+		m.gs = append(m.gs, s.Speedup)
+	}
+	return m, nil
+}
+
+// Speedup implements Model.
+func (m *Interpolated) Speedup(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= m.ns[0] {
+		return m.gs[0] * n / m.ns[0] // line through the origin
+	}
+	last := len(m.ns) - 1
+	if n >= m.ns[last] {
+		return m.gs[last] // flat beyond the data
+	}
+	i := sort.SearchFloat64s(m.ns, n)
+	// ns[i-1] < n < ns[i]
+	frac := (n - m.ns[i-1]) / (m.ns[i] - m.ns[i-1])
+	return m.gs[i-1] + frac*(m.gs[i]-m.gs[i-1])
+}
+
+// Derivative implements Model (the slope of the active segment; zero
+// beyond the last sample).
+func (m *Interpolated) Derivative(n float64) float64 {
+	if n <= 0 || n >= m.ns[len(m.ns)-1] {
+		return 0
+	}
+	if n <= m.ns[0] {
+		return m.gs[0] / m.ns[0]
+	}
+	i := sort.SearchFloat64s(m.ns, n)
+	return (m.gs[i] - m.gs[i-1]) / (m.ns[i] - m.ns[i-1])
+}
+
+// IdealScale implements Model: the scale of the maximal sample.
+func (m *Interpolated) IdealScale() float64 {
+	best := 0
+	for i, g := range m.gs {
+		if g > m.gs[best] {
+			best = i
+		}
+	}
+	return m.ns[best]
+}
+
+func (m *Interpolated) String() string {
+	return fmt.Sprintf("interpolated(%d samples, peak %.4g at N=%.4g)",
+		len(m.ns), m.gs[argmax(m.gs)], m.IdealScale())
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

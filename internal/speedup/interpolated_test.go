@@ -1,0 +1,111 @@
+package speedup
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func interpSamples() []Sample {
+	return []Sample{
+		{N: 10, Speedup: 9},
+		{N: 100, Speedup: 80},
+		{N: 1000, Speedup: 500},
+		{N: 2000, Speedup: 450}, // falls past the peak
+	}
+}
+
+func TestInterpolatedConstruction(t *testing.T) {
+	if _, err := NewInterpolated(nil); !errors.Is(err, ErrFit) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := NewInterpolated([]Sample{{1, 1}}); !errors.Is(err, ErrFit) {
+		t.Errorf("single: %v", err)
+	}
+	if _, err := NewInterpolated([]Sample{{1, 1}, {1, 2}}); !errors.Is(err, ErrFit) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := NewInterpolated([]Sample{{-1, 1}, {2, 2}}); !errors.Is(err, ErrFit) {
+		t.Errorf("negative scale: %v", err)
+	}
+	if _, err := NewInterpolated([]Sample{{1, -1}, {2, 2}}); !errors.Is(err, ErrFit) {
+		t.Errorf("negative speedup: %v", err)
+	}
+}
+
+func TestInterpolatedUnsortedInput(t *testing.T) {
+	m, err := NewInterpolated([]Sample{{1000, 500}, {10, 9}, {100, 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Speedup(100); g != 80 {
+		t.Errorf("g(100) = %g", g)
+	}
+}
+
+func TestInterpolatedValues(t *testing.T) {
+	m, err := NewInterpolated(interpSamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact at knots.
+	for _, s := range interpSamples() {
+		if g := m.Speedup(s.N); math.Abs(g-s.Speedup) > 1e-12 {
+			t.Errorf("g(%g) = %g, want %g", s.N, g, s.Speedup)
+		}
+	}
+	// Midpoint between (10,9) and (100,80): 55 -> 44.5.
+	if g := m.Speedup(55); math.Abs(g-44.5) > 1e-12 {
+		t.Errorf("g(55) = %g, want 44.5", g)
+	}
+	// Below the first sample: through the origin.
+	if g := m.Speedup(5); math.Abs(g-4.5) > 1e-12 {
+		t.Errorf("g(5) = %g, want 4.5", g)
+	}
+	if g := m.Speedup(0); g != 0 {
+		t.Errorf("g(0) = %g", g)
+	}
+	// Beyond the last: flat.
+	if g := m.Speedup(5000); g != 450 {
+		t.Errorf("g(5000) = %g, want 450", g)
+	}
+}
+
+func TestInterpolatedDerivative(t *testing.T) {
+	m, _ := NewInterpolated(interpSamples())
+	// Segment (10,9)-(100,80): slope (80-9)/90.
+	want := (80.0 - 9) / 90
+	if d := m.Derivative(50); math.Abs(d-want) > 1e-12 {
+		t.Errorf("g'(50) = %g, want %g", d, want)
+	}
+	// Falling segment has negative slope.
+	if d := m.Derivative(1500); d >= 0 {
+		t.Errorf("g'(1500) = %g, want < 0", d)
+	}
+	// Beyond data: zero.
+	if d := m.Derivative(5000); d != 0 {
+		t.Errorf("g'(5000) = %g", d)
+	}
+}
+
+func TestInterpolatedIdealScale(t *testing.T) {
+	m, _ := NewInterpolated(interpSamples())
+	if s := m.IdealScale(); s != 1000 {
+		t.Errorf("IdealScale = %g, want 1000 (the peak sample)", s)
+	}
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestInterpolatedAsModelInterface(t *testing.T) {
+	var m Model
+	im, err := NewInterpolated(interpSamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = im
+	if pt := ParallelTime(m, 1000, 100); math.Abs(pt-1000.0/80) > 1e-12 {
+		t.Errorf("ParallelTime = %g", pt)
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary with NaN moments.
+func Summarize(xs []float64) Summary {
+	s := Summary{Count: len(xs)}
+	if len(xs) == 0 {
+		s.Mean, s.StdDev, s.Min, s.Max, s.Median = math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, v := range xs {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (NaN for an empty sample).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation (1.96·σ/√n). The experiment tables report
+// means of 100 runs, as in the paper.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	s := Summarize(xs)
+	return 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram bins xs into n equal-width bins over [min, max] and returns the
+// counts plus the bin edges (n+1 values).
+func Histogram(xs []float64, n int) (counts []int, edges []float64) {
+	if n < 1 || len(xs) == 0 {
+		return nil, nil
+	}
+	s := Summarize(xs)
+	lo, hi := s.Min, s.Max
+	if lo == hi {
+		hi = lo + 1
+	}
+	counts = make([]int, n)
+	edges = make([]float64, n+1)
+	width := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + width*float64(i)
+	}
+	for _, v := range xs {
+		idx := int((v - lo) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return counts, edges
+}
+
+// RelErr returns |a-b| / max(|a|, |b|, tiny), a symmetric relative error.
+// Experiment validation (Figure 4) asserts on this metric (< 4%).
+func RelErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den < 1e-300 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// String renders the summary compactly for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.3g min=%.6g med=%.6g max=%.6g",
+		s.Count, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/stats"
+)
+
+// MTBF returns the mean time between failures of a trace over the horizon:
+// horizon / count. It returns +Inf for an empty trace.
+func MTBF(events []failure.Event, horizon float64) float64 {
+	if len(events) == 0 || horizon <= 0 {
+		return math.Inf(1)
+	}
+	return horizon / float64(len(events))
+}
+
+// WeibullFit holds method-of-moments estimates of a Weibull interarrival
+// law.
+type WeibullFit struct {
+	Shape float64 // k: < 1 infant mortality, 1 exponential, > 1 wear-out
+	Scale float64 // λ
+	CV    float64 // observed coefficient of variation
+}
+
+// FitWeibull estimates Weibull parameters from a trace's interarrival
+// times by matching the coefficient of variation:
+//
+//	CV² = Γ(1+2/k)/Γ(1+1/k)² − 1
+//
+// solved for the shape k by bisection, then the scale from the mean. It
+// needs at least 10 interarrivals.
+func FitWeibull(events []failure.Event, level int) (WeibullFit, error) {
+	var ts []float64
+	for _, e := range events {
+		if e.Level == level {
+			ts = append(ts, e.Time)
+		}
+	}
+	sort.Float64s(ts)
+	if len(ts) < 11 {
+		return WeibullFit{}, fmt.Errorf("%w: %d events at level %d", ErrTrace, len(ts), level)
+	}
+	gaps := make([]float64, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		gaps[i-1] = ts[i] - ts[i-1]
+	}
+	s := stats.Summarize(gaps)
+	if s.Mean <= 0 || s.StdDev <= 0 {
+		return WeibullFit{}, fmt.Errorf("%w: degenerate interarrivals", ErrTrace)
+	}
+	cv := s.StdDev / s.Mean
+	targetCV2 := cv * cv
+
+	cv2OfShape := func(k float64) float64 {
+		g1 := math.Gamma(1 + 1/k)
+		g2 := math.Gamma(1 + 2/k)
+		return g2/(g1*g1) - 1
+	}
+	// CV² is strictly decreasing in k: bracket and bisect.
+	lo, hi := 0.05, 20.0
+	if targetCV2 >= cv2OfShape(lo) {
+		return WeibullFit{Shape: lo, Scale: s.Mean / math.Gamma(1+1/lo), CV: cv}, nil
+	}
+	if targetCV2 <= cv2OfShape(hi) {
+		return WeibullFit{Shape: hi, Scale: s.Mean / math.Gamma(1+1/hi), CV: cv}, nil
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cv2OfShape(mid) > targetCV2 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9 {
+			break
+		}
+	}
+	k := (lo + hi) / 2
+	return WeibullFit{Shape: k, Scale: s.Mean / math.Gamma(1+1/k), CV: cv}, nil
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/stats"
+)
+
+func TestMTBF(t *testing.T) {
+	events := []failure.Event{{Time: 1}, {Time: 2}, {Time: 3}, {Time: 4}}
+	if m := MTBF(events, 400); m != 100 {
+		t.Errorf("MTBF = %g, want 100", m)
+	}
+	if !math.IsInf(MTBF(nil, 100), 1) {
+		t.Error("empty trace should have infinite MTBF")
+	}
+}
+
+func TestFitWeibullRecoversExponential(t *testing.T) {
+	r := failure.MustParseRates("48", 1e6)
+	events := failure.Trace(r, 1e6, 400*failure.SecondsPerDay, failure.Exponential, 0, stats.NewRNG(3))
+	fit, err := FitWeibull(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-1) > 0.1 {
+		t.Errorf("exponential trace fitted shape %g, want ≈1", fit.Shape)
+	}
+	// Scale ≈ mean interarrival = 1800 s (48/day).
+	if math.Abs(fit.Scale-1800) > 150 {
+		t.Errorf("scale = %g, want ≈1800", fit.Scale)
+	}
+}
+
+func TestFitWeibullRecoversShape(t *testing.T) {
+	for _, shape := range []float64{0.6, 1.5} {
+		r := failure.MustParseRates("48", 1e6)
+		events := failure.Trace(r, 1e6, 600*failure.SecondsPerDay, failure.Weibull, shape, stats.NewRNG(7))
+		fit, err := FitWeibull(events, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Shape-shape)/shape > 0.15 {
+			t.Errorf("true shape %g fitted as %g", shape, fit.Shape)
+		}
+	}
+}
+
+func TestFitWeibullNeedsData(t *testing.T) {
+	events := []failure.Event{{Time: 1}, {Time: 2}}
+	if _, err := FitWeibull(events, 0); !errors.Is(err, ErrTrace) {
+		t.Errorf("err = %v", err)
+	}
+	// Wrong level: no events there.
+	if _, err := FitWeibull(events, 3); !errors.Is(err, ErrTrace) {
+		t.Errorf("err = %v", err)
+	}
+}
