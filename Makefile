@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test race short fuzz golden bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must build, vet clean, and pass.
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Concurrency gate: the full suite under the race detector, including the
+# workers=1 vs workers=8 sweep determinism tests. The heaviest golden
+# reproductions (Figure 4) skip themselves under -race; run `make test`
+# for the exact-number gate.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Quick smoke pass (skips the full-scale golden reproductions).
+short:
+	$(GO) test -short ./...
+
+# Bounded fuzz sessions for the Spec-validation and cache-key invariants.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzOptimizeNeverPanics -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzKeyEquality -fuzztime 30s ./internal/sweep
+
+# Regenerate the golden reference after an intentional numbers change.
+# Review the diff before committing: every change here is a change to the
+# reproduced paper results.
+golden:
+	$(GO) run ./cmd/experiments -no-progress all > docs_results_reference.txt
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

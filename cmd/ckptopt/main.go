@@ -1,14 +1,20 @@
-// Command ckptopt computes an optimized multilevel checkpoint plan from a
-// JSON problem specification.
+// Command ckptopt computes optimized multilevel checkpoint plans from a
+// JSON problem specification or the paper's evaluation problem.
 //
 // Usage:
 //
 //	ckptopt -spec problem.json [-policy ml-opt-scale] [-json]
 //	ckptopt -paper -te 3e6 -rates 16-12-8-4 [-policy ...] [-json]
+//	ckptopt -paper -rates 16-12-8-4,8-6-4-2 -policy all -sim 100 [-workers N]
 //
 // With -paper, the spec is the paper's Section IV evaluation problem at
 // the given workload (core-days) and failure case. Without -json the plan
 // is printed as a human-readable summary.
+//
+// Sweep mode: -rates takes a comma-separated list of failure cases and
+// -policy accepts "all"; every (case, policy) cell is solved concurrently
+// through mlckpt.Sweep. -sim N additionally validates each plan with N
+// stochastic simulation runs. Sweep results are independent of -workers.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"mlckpt"
 	"mlckpt/internal/cli"
@@ -27,35 +34,128 @@ func main() {
 	log.SetPrefix("ckptopt: ")
 	var (
 		specPath = flag.String("spec", "", "path to a JSON Spec")
-		policy   = flag.String("policy", string(mlckpt.MLOptScale), "ml-opt-scale | sl-opt-scale | ml-ori-scale | sl-ori-scale")
+		policy   = flag.String("policy", string(mlckpt.MLOptScale), "ml-opt-scale | sl-opt-scale | ml-ori-scale | sl-ori-scale | all")
 		paper    = flag.Bool("paper", false, "use the paper's Section IV problem")
 		te       = flag.Float64("te", 3e6, "workload in core-days (with -paper)")
-		rates    = flag.String("rates", "16-12-8-4", "failure case r1-r2-r3-r4 (with -paper)")
-		asJSON   = flag.Bool("json", false, "emit the plan as JSON")
+		rates    = flag.String("rates", "16-12-8-4", "failure case(s) r1-r2-r3-r4, comma-separated (with -paper)")
+		simRuns  = flag.Int("sim", 0, "validate each plan with N simulation runs (sweep mode)")
+		seed     = flag.Uint64("seed", 0, "root seed for -sim (0 = default)")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
+		asJSON   = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
 
-	spec, err := cli.ResolveSpec(*paper, *specPath, *te, *rates)
-	if err != nil {
-		flag.Usage()
-		log.Fatal(err)
+	rateCases := strings.Split(*rates, ",")
+	policies := []mlckpt.Policy{mlckpt.Policy(*policy)}
+	if *policy == "all" {
+		policies = mlckpt.Policies
 	}
 
-	plan, err := mlckpt.Optimize(spec, mlckpt.Policy(*policy))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(plan); err != nil {
+	// The classic single-cell path keeps its original plain-text report.
+	if len(rateCases) == 1 && len(policies) == 1 && *simRuns == 0 {
+		spec, err := cli.ResolveSpec(*paper, *specPath, *te, rateCases[0])
+		if err != nil {
+			flag.Usage()
 			log.Fatal(err)
 		}
+		plan, err := mlckpt.Optimize(spec, policies[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			emitJSON(plan)
+			return
+		}
+		fmt.Printf("policy:               %s\n", plan.Policy)
+		fmt.Printf("optimal scale:        %d cores\n", plan.Scale)
+		fmt.Printf("checkpoint intervals: %v (per level; 1 = no checkpoints)\n", plan.Intervals)
+		fmt.Printf("expected wall clock:  %.2f days\n", plan.ExpectedWallClockDays)
+		fmt.Printf("algorithm-1 iters:    %d (converged: %v)\n", plan.OuterIterations, plan.Converged)
 		return
 	}
-	fmt.Printf("policy:               %s\n", plan.Policy)
-	fmt.Printf("optimal scale:        %d cores\n", plan.Scale)
-	fmt.Printf("checkpoint intervals: %v (per level; 1 = no checkpoints)\n", plan.Intervals)
-	fmt.Printf("expected wall clock:  %.2f days\n", plan.ExpectedWallClockDays)
-	fmt.Printf("algorithm-1 iters:    %d (converged: %v)\n", plan.OuterIterations, plan.Converged)
+
+	// Sweep mode: one job per (failure case, policy).
+	var jobs []mlckpt.SweepJob
+	for _, rc := range rateCases {
+		rc = strings.TrimSpace(rc)
+		spec, err := cli.ResolveSpec(*paper, *specPath, *te, rc)
+		if err != nil {
+			flag.Usage()
+			log.Fatal(err)
+		}
+		label := rc
+		if !*paper {
+			label = *specPath
+		}
+		for _, pol := range policies {
+			job := mlckpt.SweepJob{
+				Name:   fmt.Sprintf("%s/%s", label, pol),
+				Spec:   spec,
+				Policy: pol,
+			}
+			if *simRuns > 0 {
+				job.Sim = &mlckpt.SimOptions{Runs: *simRuns}
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	outcomes := mlckpt.Sweep(jobs, mlckpt.SweepOptions{
+		Workers:  *workers,
+		RootSeed: *seed,
+		Progress: func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "\r\033[K%d/%d %s", done, total, name)
+			if done == total {
+				fmt.Fprintf(os.Stderr, "\r\033[K")
+			}
+		},
+	})
+	failed := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Name, o.Err)
+		}
+	}
+	if *asJSON {
+		emitJSON(outcomes)
+	} else {
+		renderSweep(outcomes, *simRuns > 0)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d jobs failed", failed, len(outcomes))
+	}
+}
+
+func renderSweep(outcomes []mlckpt.SweepOutcome, withSim bool) {
+	if withSim {
+		fmt.Printf("%-28s %-14s %8s %-18s %12s %14s %12s\n",
+			"case/policy", "policy", "scale", "intervals", "E[WCT] days", "sim WCT days", "efficiency")
+	} else {
+		fmt.Printf("%-28s %-14s %8s %-18s %12s\n",
+			"case/policy", "policy", "scale", "intervals", "E[WCT] days")
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Printf("%-28s ERROR: %v\n", o.Name, o.Err)
+			continue
+		}
+		iv := make([]string, len(o.Plan.Intervals))
+		for i, v := range o.Plan.Intervals {
+			iv[i] = fmt.Sprint(v)
+		}
+		row := fmt.Sprintf("%-28s %-14s %8d %-18s %12.2f",
+			o.Name, o.Policy, o.Plan.Scale, strings.Join(iv, "-"), o.Plan.ExpectedWallClockDays)
+		if withSim && o.Report != nil {
+			row += fmt.Sprintf(" %14.2f %12.4f", o.Report.MeanWallClockDays, o.Report.Efficiency)
+		}
+		fmt.Println(row)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
 }

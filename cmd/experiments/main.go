@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	experiments [-runs N] [-quick] <id>...
+//	experiments [-runs N] [-quick] [-workers N] [-no-progress] <id>...
 //	experiments all
 //
 // IDs: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens.
 // -quick shrinks run counts and scales for a fast smoke pass; the default
 // settings reproduce the paper's configuration (100-run means).
+//
+// The heavy experiments fan out across the internal/sweep worker pool.
+// -workers bounds the pool (0 = all CPUs); results are bit-identical for
+// every setting. All experiments in one invocation share a memoization
+// cache, so e.g. "experiments fig5 tab3 fig7" pays for the te=3m
+// evaluation sweep once.
 package main
 
 import (
@@ -17,14 +23,17 @@ import (
 	"os"
 
 	"mlckpt/internal/experiments"
+	"mlckpt/internal/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runs  = flag.Int("runs", 0, "override simulation repetitions (0 = paper default)")
-		quick = flag.Bool("quick", false, "fast smoke settings")
+		runs       = flag.Int("runs", 0, "override simulation repetitions (0 = paper default)")
+		quick      = flag.Bool("quick", false, "fast smoke settings")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
+		noProgress = flag.Bool("no-progress", false, "suppress progress reporting on stderr")
 	)
 	flag.Parse()
 	ids := flag.Args()
@@ -41,21 +50,20 @@ func main() {
 		simRuns = 10
 	}
 
-	// Figures 5-7 and Table III share the two Eval sweeps; compute lazily.
-	var eval3, eval10 *experiments.EvalResult
-	getEval := func(te float64) (*experiments.EvalResult, error) {
-		cache := &eval3
-		if te == 10e6 {
-			cache = &eval10
-		}
-		if *cache == nil {
-			r, err := experiments.Eval(te, simRuns, nil)
-			if err != nil {
-				return nil, err
+	// One cache for the whole invocation: fig5/tab3/fig6/fig7 share their
+	// evaluation cells, and repeated ids are free reruns.
+	cache := sweep.NewCache()
+	grid := func(id string) experiments.Grid {
+		g := experiments.Grid{Workers: *workers, Cache: cache}
+		if !*noProgress {
+			g.Progress = func(done, total int, name string) {
+				fmt.Fprintf(os.Stderr, "\r\033[K%s: %d/%d %s", id, done, total, name)
+				if done == total {
+					fmt.Fprintf(os.Stderr, "\r\033[K%s: %d jobs done\n", id, total)
+				}
 			}
-			*cache = &r
 		}
-		return *cache, nil
+		return g
 	}
 
 	for _, id := range ids {
@@ -70,7 +78,7 @@ func main() {
 				maxScale = 64
 			}
 			var r experiments.Fig2Result
-			r, err = experiments.Fig2(maxScale)
+			r, err = experiments.Fig2Grid(maxScale, grid(id))
 			if err == nil {
 				out = r.Render()
 			}
@@ -86,7 +94,7 @@ func main() {
 				ranks, real, sims = 16, 3, 100
 			}
 			var r experiments.Fig4Result
-			r, err = experiments.Fig4(ranks, real, sims)
+			r, err = experiments.Fig4Grid(ranks, real, sims, grid(id))
 			if err == nil {
 				out = r.Render()
 			}
@@ -96,40 +104,40 @@ func main() {
 				scales = []int{128, 256, 512}
 			}
 			var r experiments.Tab2Result
-			r, err = experiments.Tab2(scales)
+			r, err = experiments.Tab2Grid(scales, grid(id))
 			if err == nil {
 				out = r.Render()
 			}
 		case "fig5":
-			var r *experiments.EvalResult
-			r, err = getEval(3e6)
+			var r experiments.EvalResult
+			r, err = experiments.EvalGrid(3e6, simRuns, nil, grid(id))
 			if err == nil {
 				out = r.Render()
 			}
 		case "tab3":
-			var r *experiments.EvalResult
-			r, err = getEval(3e6)
+			var r experiments.EvalResult
+			r, err = experiments.EvalGrid(3e6, simRuns, nil, grid(id))
 			if err == nil {
 				out = r.RenderTab3()
 			}
 		case "fig6":
-			var r *experiments.EvalResult
-			r, err = getEval(10e6)
+			var r experiments.EvalResult
+			r, err = experiments.EvalGrid(10e6, simRuns, nil, grid(id))
 			if err == nil {
 				out = r.Render()
 			}
 		case "fig7":
-			var r3, r10 *experiments.EvalResult
-			r3, err = getEval(3e6)
+			var r3, r10 experiments.EvalResult
+			r3, err = experiments.EvalGrid(3e6, simRuns, nil, grid(id))
 			if err == nil {
-				r10, err = getEval(10e6)
+				r10, err = experiments.EvalGrid(10e6, simRuns, nil, grid(id))
 			}
 			if err == nil {
 				out = r3.RenderFig7() + r10.RenderFig7()
 			}
 		case "tab4":
 			var r experiments.Tab4Result
-			r, err = experiments.Tab4(simRuns, nil)
+			r, err = experiments.Tab4Grid(simRuns, nil, grid(id))
 			if err == nil {
 				out = r.Render()
 			}
@@ -158,5 +166,9 @@ func main() {
 			log.Fatalf("%s: %v", id, err)
 		}
 		fmt.Println(out)
+	}
+	if !*noProgress {
+		hits, misses := cache.Stats()
+		fmt.Fprintf(os.Stderr, "sweep cache: %d hits, %d misses\n", hits, misses)
 	}
 }

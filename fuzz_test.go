@@ -1,0 +1,58 @@
+package mlckpt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzOptimizeNeverPanics is the Spec-validation fuzz gate: whatever
+// numbers a caller throws at the facade, Optimize must either return a
+// sane plan or a proper error — never panic, never hand back NaN/Inf.
+func FuzzOptimizeNeverPanics(f *testing.F) {
+	f.Add(3e6, 0.876, 1e6, 60.0, 16.0, 12.0, 8.0, 4.0, 0.866, 2.586, 3.886, 5.5, 0.0212, uint8(0))
+	f.Add(1e5, 0.5, 1e4, 10.0, 4.0, 3.0, 2.0, 1.0, 1.0, 3.0, 5.0, 20.0, 0.0, uint8(1))
+	f.Add(0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(2))
+	f.Add(math.Inf(1), math.NaN(), -5.0, 1e300, -16.0, 1e-300, math.Inf(-1), 4.0,
+		math.NaN(), 0.0, -3.0, 5.5, math.Inf(1), uint8(3))
+	f.Add(1e-8, 1e8, 2.0, 1e-8, 1e6, 1e6, 1e6, 1e6, 1e-9, 1e-9, 1e-9, 1e-9, 1e9, uint8(7))
+
+	f.Fuzz(func(t *testing.T, te, kappa, nStar, alloc,
+		r1, r2, r3, r4, c1, c2, c3, c4, slope4 float64, polIdx uint8) {
+		spec := Spec{
+			TeCoreDays:     te,
+			Speedup:        SpeedupSpec{Kind: "quadratic", Kappa: kappa, IdealScale: nStar},
+			AllocSeconds:   alloc,
+			FailuresPerDay: []float64{r1, r2, r3, r4},
+			Levels: []LevelSpec{
+				{CheckpointConst: c1},
+				{CheckpointConst: c2},
+				{CheckpointConst: c3},
+				{CheckpointConst: c4, CheckpointSlope: slope4},
+			},
+		}
+		pol := Policies[int(polIdx)%len(Policies)]
+		plan, err := Optimize(spec, pol)
+		if err != nil {
+			return
+		}
+		if plan.Scale <= 0 {
+			t.Fatalf("accepted spec produced non-positive scale %d (spec %+v)", plan.Scale, spec)
+		}
+		if math.IsNaN(plan.ExpectedWallClockDays) || math.IsInf(plan.ExpectedWallClockDays, 0) || plan.ExpectedWallClockDays < 0 {
+			t.Fatalf("accepted spec produced E(T_w) = %g days (spec %+v)", plan.ExpectedWallClockDays, spec)
+		}
+		if len(plan.Intervals) != len(spec.Levels) {
+			t.Fatalf("plan has %d interval entries for %d levels", len(plan.Intervals), len(spec.Levels))
+		}
+		for i, iv := range plan.Intervals {
+			if iv < 1 {
+				t.Fatalf("level %d interval %d < 1", i+1, iv)
+			}
+		}
+		for _, x := range plan.X {
+			if math.IsNaN(x) || x < 1 {
+				t.Fatalf("unrounded schedule entry %g < 1", x)
+			}
+		}
+	})
+}

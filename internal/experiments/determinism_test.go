@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"mlckpt/internal/sweep"
+)
+
+// The rendered output of every engine-routed experiment must be
+// byte-identical for any worker count: seeds are a pure function of job
+// identity and reductions happen in job order, never completion order.
+
+func renderEval(t *testing.T, workers int) string {
+	t.Helper()
+	r, err := EvalGrid(3e6, 5, []string{"16-12-8-4", "8-6-4-2"}, Grid{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Render() + r.RenderTab3() + r.RenderFig7()
+}
+
+func TestEvalGridDeterministicAcrossWorkers(t *testing.T) {
+	want := renderEval(t, 1)
+	for _, workers := range []int{2, 8} {
+		if got := renderEval(t, workers); got != want {
+			t.Errorf("EvalGrid workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+func TestTab4GridDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		r, err := Tab4Grid(5, []string{"16-12-8-4"}, Grid{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render()
+	}
+	want := render(1)
+	if got := render(8); got != want {
+		t.Error("Tab4Grid workers=8 output differs from workers=1")
+	}
+}
+
+func TestFig4GridDeterministicAcrossWorkers(t *testing.T) {
+	// Fig4 is the one experiment whose serial harness drew seeds from a
+	// shared stream; the grid path pre-draws them in the serial order, so
+	// the fan-out must not change a single byte.
+	render := func(workers int) string {
+		r, err := Fig4Grid(8, 2, 20, Grid{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render()
+	}
+	want := render(1)
+	if got := render(8); got != want {
+		t.Error("Fig4Grid workers=8 output differs from workers=1")
+	}
+}
+
+func TestGridSharedCacheAcrossExperiments(t *testing.T) {
+	// A shared cache turns a repeated evaluation sweep into pure hits —
+	// the cmd/experiments binary relies on this for fig5/tab3/fig7.
+	cache := sweep.NewCache()
+	g := Grid{Workers: 2, Cache: cache}
+	if _, err := EvalGrid(3e6, 5, []string{"16-12-8-4"}, g); err != nil {
+		t.Fatal(err)
+	}
+	_, missesFirst := cache.Stats()
+	a, err := EvalGrid(3e6, 5, []string{"16-12-8-4"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesSecond := cache.Stats()
+	if missesSecond != missesFirst {
+		t.Errorf("second identical sweep recomputed: misses %d -> %d", missesFirst, missesSecond)
+	}
+	b, err := EvalGrid(3e6, 5, []string{"16-12-8-4"}, Grid{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("cached sweep differs from a fresh one")
+	}
+}

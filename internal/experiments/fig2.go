@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"mlckpt/internal/jacobi"
 	"mlckpt/internal/mpisim"
 	"mlckpt/internal/speedup"
+	"mlckpt/internal/sweep"
 )
 
 // Fig2Curve is one sub-figure: measured speedup samples plus the fitted
@@ -33,54 +35,47 @@ type Fig2Result struct {
 // Fig2 measures and fits both curves. maxScale caps the largest rank count
 // for the heat runs (the paper uses 1,024; tests pass less).
 func Fig2(maxScale int) (Fig2Result, error) {
+	return Fig2Grid(maxScale, Grid{})
+}
+
+// Fig2Grid is Fig2 with the three curve measurements (heat row, heat
+// block, Jacobi) fanned across the sweep engine. Every measurement is
+// deterministic, so the parallel and serial paths produce identical
+// curves.
+func Fig2Grid(maxScale int, g Grid) (Fig2Result, error) {
 	if maxScale < 8 {
 		maxScale = 8
 	}
 	var res Fig2Result
 
-	// (a) Heat Distribution, strong scaling on the simulated cluster.
+	// (a) Heat Distribution, strong scaling on the simulated cluster —
+	// the paper's row decomposition plus its 2-D block decomposition.
 	cfg := heat.Config{GridX: 2048, GridY: 2048, Iterations: 4, CellTime: 2e-8, TopTemp: 100}
 	var scales []int
 	for p := 1; p <= maxScale; p *= 2 {
 		scales = append(scales, p)
 	}
-	measured, err := heat.MeasureSpeedup(cfg, mpisim.DefaultCostModel(), scales)
-	if err != nil {
-		return res, err
-	}
-	samples := make([]speedup.Sample, len(measured))
-	for i, m := range measured {
-		samples[i] = speedup.Sample{N: float64(m.Scale), Speedup: m.Speedup}
-	}
-	fit, err := speedup.FitQuadraticRising(samples)
-	if err != nil {
-		return res, err
-	}
-	res.Heat = Fig2Curve{
-		Name:    "Heat Distribution, row decomposition (measured on mpisim)",
-		Samples: samples,
-		Fit:     fit,
-		R2:      speedup.GoodnessOfFit(fit, samples),
-	}
-
-	// Same application with the paper's 2-D block decomposition.
-	blockMeasured, err := heat.MeasureSpeedupBlocks(cfg, mpisim.DefaultCostModel(), scales)
-	if err != nil {
-		return res, err
-	}
-	blockSamples := make([]speedup.Sample, len(blockMeasured))
-	for i, m := range blockMeasured {
-		blockSamples[i] = speedup.Sample{N: float64(m.Scale), Speedup: m.Speedup}
-	}
-	blockFit, err := speedup.FitQuadraticRising(blockSamples)
-	if err != nil {
-		return res, err
-	}
-	res.Block = Fig2Curve{
-		Name:    "Heat Distribution, 2-D block decomposition (measured on mpisim)",
-		Samples: blockSamples,
-		Fit:     blockFit,
-		R2:      speedup.GoodnessOfFit(blockFit, blockSamples),
+	heatCurve := func(name string, measure func(heat.Config, mpisim.CostModel, []int) ([]heat.Sample, error)) func() (any, error) {
+		return func() (any, error) {
+			measured, err := measure(cfg, mpisim.DefaultCostModel(), scales)
+			if err != nil {
+				return nil, err
+			}
+			samples := make([]speedup.Sample, len(measured))
+			for i, m := range measured {
+				samples[i] = speedup.Sample{N: float64(m.Scale), Speedup: m.Speedup}
+			}
+			fit, err := speedup.FitQuadraticRising(samples)
+			if err != nil {
+				return nil, err
+			}
+			return Fig2Curve{
+				Name:    name,
+				Samples: samples,
+				Fit:     fit,
+				R2:      speedup.GoodnessOfFit(fit, samples),
+			}, nil
+		}
 	}
 
 	// (b) The eddy_uv stand-in: the paper's Nek5000 curve rises fast and
@@ -88,32 +83,51 @@ func Fig2(maxScale int) (Fig2Result, error) {
 	// shrink with the process count. Our distributed Jacobi solver has the
 	// same signature (an O(n) allgather every sweep), so we MEASURE its
 	// rise-and-fall curve and fit only the rising range, as the paper does.
-	jcfg := jacobi.Config{N: 192, Iterations: 4, FlopTime: 1.5e-5, Seed: 2014}
-	jcost := mpisim.CostModel{Overhead: 2e-4, Latency: 1e-3, ByteTime: 1e-8}
-	var jscales []int
-	for p := 1; p <= 192; p *= 2 {
-		jscales = append(jscales, p)
+	eddyCurve := func() (any, error) {
+		jcfg := jacobi.Config{N: 192, Iterations: 4, FlopTime: 1.5e-5, Seed: 2014}
+		jcost := mpisim.CostModel{Overhead: 2e-4, Latency: 1e-3, ByteTime: 1e-8}
+		var jscales []int
+		for p := 1; p <= 192; p *= 2 {
+			jscales = append(jscales, p)
+		}
+		jscales = append(jscales, 96, 160, 192)
+		sort.Ints(jscales)
+		measuredJ, err := jacobi.MeasureSpeedup(jcfg, jcost, jscales)
+		if err != nil {
+			return nil, err
+		}
+		var eddy []speedup.Sample
+		for _, m := range measuredJ {
+			eddy = append(eddy, speedup.Sample{N: float64(m.Scale), Speedup: m.Speedup})
+		}
+		eddyFit, err := speedup.FitQuadraticRising(eddy)
+		if err != nil {
+			return nil, err
+		}
+		return Fig2Curve{
+			Name:    "eddy_uv-style (distributed Jacobi, measured; rising-range fit)",
+			Samples: eddy,
+			Fit:     eddyFit,
+			R2:      risingR2(eddyFit, eddy),
+		}, nil
 	}
-	jscales = append(jscales, 96, 160, 192)
-	sort.Ints(jscales)
-	measuredJ, err := jacobi.MeasureSpeedup(jcfg, jcost, jscales)
-	if err != nil {
-		return res, err
+
+	jobs := []sweep.Job{
+		{Name: "fig2/heat-row", SolveKey: sweep.MustKey("fig2.curve", "row", maxScale),
+			Solve: heatCurve("Heat Distribution, row decomposition (measured on mpisim)", heat.MeasureSpeedup)},
+		{Name: "fig2/heat-block", SolveKey: sweep.MustKey("fig2.curve", "block", maxScale),
+			Solve: heatCurve("Heat Distribution, 2-D block decomposition (measured on mpisim)", heat.MeasureSpeedupBlocks)},
+		{Name: "fig2/eddy", SolveKey: sweep.MustKey("fig2.curve", "eddy", 0), Solve: eddyCurve},
 	}
-	var eddy []speedup.Sample
-	for _, m := range measuredJ {
-		eddy = append(eddy, speedup.Sample{N: float64(m.Scale), Speedup: m.Speedup})
+	outs := sweep.Run(jobs, sweep.Options{Workers: g.Workers, Cache: g.Cache, Progress: g.Progress})
+	for _, o := range outs {
+		if o.Err != nil {
+			return res, fmt.Errorf("%s: %w", o.Name, o.Err)
+		}
 	}
-	eddyFit, err := speedup.FitQuadraticRising(eddy)
-	if err != nil {
-		return res, err
-	}
-	res.Eddy = Fig2Curve{
-		Name:    "eddy_uv-style (distributed Jacobi, measured; rising-range fit)",
-		Samples: eddy,
-		Fit:     eddyFit,
-		R2:      risingR2(eddyFit, eddy),
-	}
+	res.Heat = outs[0].Solved.(Fig2Curve)
+	res.Block = outs[1].Solved.(Fig2Curve)
+	res.Eddy = outs[2].Solved.(Fig2Curve)
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 
 	"mlckpt/internal/failure"
@@ -12,6 +13,7 @@ import (
 	"mlckpt/internal/sim"
 	"mlckpt/internal/speedup"
 	"mlckpt/internal/stats"
+	"mlckpt/internal/sweep"
 )
 
 // Fig4Point is one interval configuration compared across the two engines.
@@ -38,6 +40,13 @@ type Fig4Result struct {
 // realRuns/simRuns control the averaging (real runs are the expensive
 // side).
 func Fig4(ranks, realRuns, simRuns int) (Fig4Result, error) {
+	return Fig4Grid(ranks, realRuns, simRuns, Grid{})
+}
+
+// Fig4Grid is Fig4 with every real execution and every simulator batch
+// fanned across the sweep engine. Seeds are pre-drawn in the serial
+// order, so results are identical for any worker count.
+func Fig4Grid(ranks, realRuns, simRuns int, g Grid) (Fig4Result, error) {
 	if ranks <= 0 {
 		ranks = 32
 	}
@@ -105,46 +114,86 @@ func Fig4(ranks, realRuns, simRuns int) (Fig4Result, error) {
 		{64, 32, 16, 8},
 		{24, 6, 3, 2},
 	}
+	// Pre-draw every seed in the exact order the serial harness consumed
+	// them (realRuns real seeds then one simulator seed per point), so the
+	// parallel fan-out below stays bit-identical to the historical serial
+	// loop and to docs_results_reference.txt.
 	rng := stats.NewRNG(4242)
-	for _, iv := range sweeps {
-		// Real side.
+	realSeeds := make([][]uint64, len(sweeps))
+	simSeeds := make([]uint64, len(sweeps))
+	for pi := range sweeps {
+		realSeeds[pi] = make([]uint64, realRuns)
+		for run := range realSeeds[pi] {
+			realSeeds[pi][run] = rng.Uint64()
+		}
+		simSeeds[pi] = rng.Uint64()
+	}
+
+	// One job per real execution (the expensive side) plus one simulator
+	// batch per point: realRuns×points + points jobs in total.
+	var jobs []sweep.Job
+	for pi, iv := range sweeps {
+		pi, iv := pi, iv
+		for run := 0; run < realRuns; run++ {
+			run := run
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("fig4/%s/real-%d", fmtIntervals(iv), run),
+				Solve: func() (any, error) {
+					rr, err := RunReal(RealConfig{
+						Ranks:     ranks,
+						Heat:      hcfg,
+						FTI:       fcfg,
+						Intervals: iv,
+						Rates:     rates,
+						Alloc:     alloc,
+						Cost:      cost,
+						Seed:      realSeeds[pi][run],
+					})
+					if err != nil {
+						return nil, err
+					}
+					return rr.WallClock, nil
+				},
+			})
+		}
+		jobs = append(jobs, sweep.Job{
+			Name: fmt.Sprintf("fig4/%s/sim", fmtIntervals(iv)),
+			Solve: func() (any, error) {
+				x := make([]float64, fti.Levels)
+				for i, v := range iv {
+					x[i] = float64(v)
+				}
+				agg, err := sim.Simulate(sim.Config{
+					Params: params,
+					N:      float64(ranks),
+					X:      x,
+				}, simRuns, simSeeds[pi])
+				if err != nil {
+					return nil, err
+				}
+				return agg.WallClock.Mean, nil
+			},
+		})
+	}
+	outs := sweep.Run(jobs, sweep.Options{Workers: g.Workers, Cache: g.Cache, Progress: g.Progress})
+	for _, o := range outs {
+		if o.Err != nil {
+			return res, fmt.Errorf("%s: %w", o.Name, o.Err)
+		}
+	}
+	perPoint := realRuns + 1
+	for pi, iv := range sweeps {
 		var realSum float64
 		for run := 0; run < realRuns; run++ {
-			rr, err := RunReal(RealConfig{
-				Ranks:     ranks,
-				Heat:      hcfg,
-				FTI:       fcfg,
-				Intervals: iv,
-				Rates:     rates,
-				Alloc:     alloc,
-				Cost:      cost,
-				Seed:      rng.Uint64(),
-			})
-			if err != nil {
-				return res, err
-			}
-			realSum += rr.WallClock
+			realSum += outs[pi*perPoint+run].Solved.(float64)
 		}
 		realMean := realSum / float64(realRuns)
-
-		// Simulator side.
-		x := make([]float64, fti.Levels)
-		for i, v := range iv {
-			x[i] = float64(v)
-		}
-		agg, err := sim.Simulate(sim.Config{
-			Params: params,
-			N:      float64(ranks),
-			X:      x,
-		}, simRuns, rng.Uint64())
-		if err != nil {
-			return res, err
-		}
+		simMean := outs[pi*perPoint+realRuns].Solved.(float64)
 		p := Fig4Point{
 			Intervals: iv,
 			RealWCT:   realMean,
-			SimWCT:    agg.WallClock.Mean,
-			RelErr:    stats.RelErr(realMean, agg.WallClock.Mean),
+			SimWCT:    simMean,
+			RelErr:    stats.RelErr(realMean, simMean),
 		}
 		res.Points = append(res.Points, p)
 		if p.RelErr > res.MaxErr {

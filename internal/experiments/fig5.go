@@ -36,13 +36,22 @@ type EvalResult struct {
 	Runs       int
 }
 
-// Eval runs the sweep. Overrides with runs > 0 reduce the repetition count
-// (tests); specs defaults to the paper's six cases.
+// Eval runs the sweep on all CPUs. Overrides with runs > 0 reduce the
+// repetition count (tests); specs defaults to the paper's six cases.
 func Eval(teCoreDays float64, runs int, specs []string) (EvalResult, error) {
+	return EvalGrid(teCoreDays, runs, specs, Grid{})
+}
+
+// EvalGrid is Eval routed through an explicit sweep grid (worker count,
+// shared cache, progress). Results are identical for every Workers
+// setting: each cell's simulator stream is a pure function of the
+// scenario and policy.
+func EvalGrid(teCoreDays float64, runs int, specs []string, g Grid) (EvalResult, error) {
 	if len(specs) == 0 {
 		specs = FailureCases
 	}
 	res := EvalResult{TeCoreDays: teCoreDays}
+	var cells []Cell
 	for _, spec := range specs {
 		sc := EvalScenario(teCoreDays, spec)
 		if runs > 0 {
@@ -50,12 +59,15 @@ func Eval(teCoreDays float64, runs int, specs []string) (EvalResult, error) {
 		}
 		res.Runs = sc.Runs
 		for _, pol := range core.Policies {
-			out, err := RunPolicy(sc, pol)
-			if err != nil {
-				return res, fmt.Errorf("%s/%v: %w", spec, pol, err)
-			}
-			res.Rows = append(res.Rows, EvalRow{Spec: spec, Outcome: out})
+			cells = append(cells, Cell{Scenario: sc, Policy: pol})
 		}
+	}
+	outs, err := RunGrid(cells, g)
+	if err != nil {
+		return res, fmt.Errorf("eval: %w", err)
+	}
+	for i, out := range outs {
+		res.Rows = append(res.Rows, EvalRow{Spec: cells[i].Scenario.Spec, Outcome: out})
 	}
 	return res, nil
 }

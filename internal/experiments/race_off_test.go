@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled lets the heaviest golden tests skip under the race detector
+// (roughly a 10x slowdown on the mpisim executions).
+const raceEnabled = false
+
+const goldenRelTol = 1e-9

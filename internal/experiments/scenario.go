@@ -108,24 +108,50 @@ func (o PolicyOutcome) Efficiency(teCoreDays float64) float64 {
 	return model.Efficiency(teCoreDays*failure.SecondsPerDay, o.Aggregate.WallClock.Mean, o.Solution.N)
 }
 
-// RunPolicy solves the policy on the scenario and simulates its schedule.
-func RunPolicy(s Scenario, pol core.Policy) (PolicyOutcome, error) {
+// SimSeed is the simulator stream for one (scenario, policy) cell. The
+// derivation is a pure function of the scenario seed and the policy — never
+// of execution order — so parallel sweeps stay bit-identical for any worker
+// count, and it is kept bit-compatible with the original serial harness so
+// docs_results_reference.txt remains reproducible.
+func (s Scenario) SimSeed(pol core.Policy) uint64 {
+	return s.Seed ^ uint64(pol+1)*0x9E37
+}
+
+// SolvePolicy runs the deterministic half of a (scenario, policy) cell:
+// the Algorithm 1 solve and the expansion of its schedule to all levels.
+// This is the memoizable stage of a sweep — it depends only on the
+// scenario's model parameters and the policy.
+func SolvePolicy(s Scenario, pol core.Policy) (core.Solution, []float64, error) {
 	p := s.Params()
 	sol, err := pol.Solve(p, core.Options{})
 	if err != nil {
-		return PolicyOutcome{}, err
+		return core.Solution{}, nil, err
 	}
-	x := pol.ExpandX(p, sol)
+	return sol, pol.ExpandX(p, sol), nil
+}
+
+// SimulatePolicy runs the stochastic half of a cell with an explicit seed:
+// the solved schedule played through the execution simulator.
+func SimulatePolicy(s Scenario, pol core.Policy, sol core.Solution, x []float64, seed uint64) (PolicyOutcome, error) {
 	cfg := sim.Config{
-		Params:       p,
+		Params:       s.Params(),
 		N:            sol.N,
 		X:            x,
 		JitterRatio:  s.Jitter,
 		MaxWallClock: s.MaxDays * failure.SecondsPerDay,
 	}
-	agg, err := sim.Simulate(cfg, s.Runs, s.Seed^uint64(pol+1)*0x9E37)
+	agg, err := sim.Simulate(cfg, s.Runs, seed)
 	if err != nil {
 		return PolicyOutcome{}, err
 	}
 	return PolicyOutcome{Policy: pol, Solution: sol, X: x, Aggregate: agg}, nil
+}
+
+// RunPolicy solves the policy on the scenario and simulates its schedule.
+func RunPolicy(s Scenario, pol core.Policy) (PolicyOutcome, error) {
+	sol, x, err := SolvePolicy(s, pol)
+	if err != nil {
+		return PolicyOutcome{}, err
+	}
+	return SimulatePolicy(s, pol, sol, x, s.SimSeed(pol))
 }

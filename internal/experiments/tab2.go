@@ -7,6 +7,7 @@ import (
 	"mlckpt/internal/heat"
 	"mlckpt/internal/mpisim"
 	"mlckpt/internal/overhead"
+	"mlckpt/internal/sweep"
 )
 
 // Tab2Result reproduces Table II: FTI checkpoint overheads per level
@@ -25,43 +26,65 @@ type Tab2Result struct {
 // program under FTI on the simulated cluster at each scale and timing one
 // checkpoint per level (strong scaling: fixed global problem).
 func Tab2(scales []int) (Tab2Result, error) {
+	return Tab2Grid(scales, Grid{})
+}
+
+// Tab2Grid is Tab2 with the per-scale measurement runs (each one a full
+// heat+FTI execution) fanned across the sweep engine. Measurements are
+// deterministic, so results are identical for any worker count.
+func Tab2Grid(scales []int, g Grid) (Tab2Result, error) {
 	if len(scales) == 0 {
 		scales = []int{128, 256, 384, 512, 1024}
 	}
 	res := Tab2Result{Scales: scales, Published: overhead.FusionFittedCosts()}
 	fcfg := fti.DefaultConfig()
 
-	for _, n := range scales {
-		hcfg := heat.Config{GridX: 1024, GridY: 1024, Iterations: 5, CellTime: 1e-7, TopTemp: 100}
-		cluster, err := fti.NewCluster(n, fcfg)
-		if err != nil {
-			return res, err
-		}
-		durs := make([]float64, fti.Levels)
-		_, err = mpisim.Run(n, mpisim.DefaultCostModel(), func(r *mpisim.Rank) {
-			s, err := heat.NewSolver(r, hcfg)
-			if err != nil {
-				panic(err)
-			}
-			agent := cluster.Attach(r)
-			s.Run(func(s *heat.Solver) bool {
-				it := s.Iteration()
-				if it >= 1 && it <= fti.Levels {
-					d, err := agent.Checkpoint(it, s.Serialize())
+	jobs := make([]sweep.Job, len(scales))
+	for i, n := range scales {
+		n := n
+		jobs[i] = sweep.Job{
+			Name:     fmt.Sprintf("tab2/%d-cores", n),
+			SolveKey: sweep.MustKey("tab2.measure", n),
+			Solve: func() (any, error) {
+				hcfg := heat.Config{GridX: 1024, GridY: 1024, Iterations: 5, CellTime: 1e-7, TopTemp: 100}
+				cluster, err := fti.NewCluster(n, fcfg)
+				if err != nil {
+					return nil, err
+				}
+				durs := make([]float64, fti.Levels)
+				_, err = mpisim.Run(n, mpisim.DefaultCostModel(), func(r *mpisim.Rank) {
+					s, err := heat.NewSolver(r, hcfg)
 					if err != nil {
 						panic(err)
 					}
-					if r.ID() == 0 {
-						durs[it-1] = d
-					}
+					agent := cluster.Attach(r)
+					s.Run(func(s *heat.Solver) bool {
+						it := s.Iteration()
+						if it >= 1 && it <= fti.Levels {
+							d, err := agent.Checkpoint(it, s.Serialize())
+							if err != nil {
+								panic(err)
+							}
+							if r.ID() == 0 {
+								durs[it-1] = d
+							}
+						}
+						return true
+					})
+				})
+				if err != nil {
+					return nil, err
 				}
-				return true
-			})
-		})
-		if err != nil {
-			return res, err
+				return durs, nil
+			},
 		}
-		res.Costs = append(res.Costs, durs)
+	}
+	outs := sweep.Run(jobs, sweep.Options{Workers: g.Workers, Cache: g.Cache, Progress: g.Progress})
+	for _, o := range outs {
+		if o.Err != nil {
+			return res, fmt.Errorf("%s: %w", o.Name, o.Err)
+		}
+		res.Costs = append(res.Costs, o.Solved.([]float64))
 	}
 
 	fitted, err := overhead.Fit(overhead.Characterization{

@@ -24,12 +24,18 @@ type Tab4Result struct {
 	Runs int
 }
 
-// Tab4 runs the study. runs > 0 overrides the 100-run default.
+// Tab4 runs the study on all CPUs. runs > 0 overrides the 100-run default.
 func Tab4(runs int, specs []string) (Tab4Result, error) {
+	return Tab4Grid(runs, specs, Grid{})
+}
+
+// Tab4Grid is Tab4 routed through an explicit sweep grid.
+func Tab4Grid(runs int, specs []string, g Grid) (Tab4Result, error) {
 	if len(specs) == 0 {
 		specs = Tab4Cases
 	}
 	res := Tab4Result{}
+	var cells []Cell
 	for _, recFactor := range []float64{1.0, 0.5} {
 		for _, spec := range specs {
 			sc := Tab4Scenario(spec, recFactor)
@@ -38,19 +44,23 @@ func Tab4(runs int, specs []string) (Tab4Result, error) {
 			}
 			res.Runs = sc.Runs
 			for _, pol := range core.Policies {
-				out, err := RunPolicy(sc, pol)
-				if err != nil {
-					return res, fmt.Errorf("tab4 %s rf=%.1f %v: %w", spec, recFactor, pol, err)
-				}
-				res.Rows = append(res.Rows, Tab4Row{
-					RecFactor: recFactor,
-					Spec:      spec,
-					Outcome:   out,
-					WCTDays:   out.WallClockDays(),
-					Eff:       out.Efficiency(sc.TeCoreDays),
-				})
+				cells = append(cells, Cell{Scenario: sc, Policy: pol})
 			}
 		}
+	}
+	outs, err := RunGrid(cells, g)
+	if err != nil {
+		return res, fmt.Errorf("tab4: %w", err)
+	}
+	for i, out := range outs {
+		sc := cells[i].Scenario
+		res.Rows = append(res.Rows, Tab4Row{
+			RecFactor: sc.RecFactor,
+			Spec:      sc.Spec,
+			Outcome:   out,
+			WCTDays:   out.WallClockDays(),
+			Eff:       out.Efficiency(sc.TeCoreDays),
+		})
 	}
 	return res, nil
 }

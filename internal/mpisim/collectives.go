@@ -48,7 +48,6 @@ func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
 		panic(fmt.Sprintf("mpisim: Scatter with invalid root %d", root))
 	}
 	var payload any
-	total := 0
 	if r.id == root {
 		if len(chunks) != r.rt.size {
 			panic(fmt.Sprintf("mpisim: Scatter with %d chunks for %d ranks", len(chunks), r.rt.size))
@@ -56,13 +55,20 @@ func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
 		cp := make([][]byte, len(chunks))
 		for i, c := range chunks {
 			cp[i] = append([]byte(nil), c...)
-			total += len(c)
 		}
 		payload = cp
 	}
-	cost := r.rt.cost.treeCost(r.rt.size, total)
+	// The cost must come from the gathered payloads, not from any one
+	// caller's arguments: the closure runs on whichever rank arrives last,
+	// and per-rank argument sizes may differ. Virtual time has to be a
+	// pure function of the communicated data, never of goroutine order.
+	rt := r.rt
 	out := r.collective("scatter", payload, func(entries []float64, payloads []any) (any, float64) {
-		return payloads[root], maxOf(entries) + cost
+		total := 0
+		for _, c := range payloads[root].([][]byte) {
+			total += len(c)
+		}
+		return payloads[root], maxOf(entries) + rt.cost.treeCost(rt.size, total)
 	})
 	all := out.([][]byte)
 	return all[r.id]

@@ -1,0 +1,84 @@
+package mpisim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Virtual time must be a pure function of the program, never of goroutine
+// scheduling. The collectives' cost used to be priced off the closure
+// runner's (i.e. the last arriver's) local arguments, which made wall
+// clocks flap under the race detector whenever per-rank payload sizes
+// differed — uneven Gather blocks, nil non-root Bcast/Scatter arguments.
+// These tests pin the fix by replaying scheduling-sensitive programs and
+// demanding identical clocks every time.
+
+func unevenGatherWall(t *testing.T) float64 {
+	t.Helper()
+	// 7 ranks, rank i contributes i+1 bytes: every rank sees a different
+	// local size, so the old cost depended on who arrived last.
+	wall, err := Run(7, DefaultCostModel(), func(r *Rank) {
+		for iter := 0; iter < 50; iter++ {
+			r.Compute(float64(r.ID()+1) * 1e-6) // desynchronize arrivals
+			blob := bytes.Repeat([]byte{byte(r.ID())}, r.ID()+1)
+			all := r.Gather(blob)
+			if len(all[r.ID()]) != r.ID()+1 {
+				panic("gather payload corrupted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wall
+}
+
+func TestGatherWallClockSchedulingIndependent(t *testing.T) {
+	want := unevenGatherWall(t)
+	for rep := 0; rep < 20; rep++ {
+		if got := unevenGatherWall(t); got != want {
+			t.Fatalf("rep %d: wall %.17g != %.17g — virtual time depends on scheduling", rep, got, want)
+		}
+	}
+}
+
+func rootOnlyPayloadWall(t *testing.T) float64 {
+	t.Helper()
+	wall, err := Run(5, DefaultCostModel(), func(r *Rank) {
+		for iter := 0; iter < 30; iter++ {
+			r.Compute(float64(5-r.ID()) * 1e-6)
+			var msg []byte
+			if r.ID() == 2 {
+				msg = bytes.Repeat([]byte{7}, 1000)
+			}
+			got := r.Bcast(2, msg)
+			if len(got) != 1000 {
+				panic("bcast payload corrupted")
+			}
+			var chunks [][]byte
+			if r.ID() == 0 {
+				chunks = make([][]byte, 5)
+				for i := range chunks {
+					chunks[i] = bytes.Repeat([]byte{byte(i)}, 100*(i+1))
+				}
+			}
+			mine := r.Scatter(0, chunks)
+			if len(mine) != 100*(r.ID()+1) {
+				panic("scatter payload corrupted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wall
+}
+
+func TestBcastScatterWallClockSchedulingIndependent(t *testing.T) {
+	want := rootOnlyPayloadWall(t)
+	for rep := 0; rep < 20; rep++ {
+		if got := rootOnlyPayloadWall(t); got != want {
+			t.Fatalf("rep %d: wall %.17g != %.17g — virtual time depends on scheduling", rep, got, want)
+		}
+	}
+}

@@ -327,9 +327,17 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 	if r.id == root {
 		payload = append([]byte(nil), data...)
 	}
-	cost := r.rt.cost.treeCost(r.rt.size, len(data))
+	// Cost from the root's payload, not the caller's argument: the closure
+	// runs on whichever rank arrives last, and non-root callers may pass
+	// nil or differently-sized buffers. Virtual time has to be a pure
+	// function of the communicated data, never of goroutine order.
+	rt := r.rt
 	out := r.collective("bcast", payload, func(entries []float64, payloads []any) (any, float64) {
-		return payloads[root], maxOf(entries) + cost
+		n := 0
+		if b, ok := payloads[root].([]byte); ok {
+			n = len(b)
+		}
+		return payloads[root], maxOf(entries) + rt.cost.treeCost(rt.size, n)
 	})
 	if out == nil {
 		return nil
@@ -383,14 +391,20 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 // checkpoint toolkit uses it for group coordination).
 func (r *Rank) Gather(data []byte) [][]byte {
 	payload := append([]byte(nil), data...)
-	n := len(data)
-	cost := r.rt.cost.treeCost(r.rt.size, n*r.rt.size)
+	// Cost from the total gathered volume: per-rank contributions may have
+	// different sizes (uneven block partitions), and the closure runs on
+	// whichever rank arrives last, so it must not price the operation off
+	// any single caller's argument. Virtual time has to be a pure function
+	// of the communicated data, never of goroutine order.
+	rt := r.rt
 	out := r.collective("gather", payload, func(entries []float64, payloads []any) (any, float64) {
 		all := make([][]byte, len(payloads))
+		total := 0
 		for i, p := range payloads {
 			all[i] = p.([]byte)
+			total += len(all[i])
 		}
-		return all, maxOf(entries) + cost
+		return all, maxOf(entries) + rt.cost.treeCost(rt.size, total)
 	})
 	return out.([][]byte)
 }

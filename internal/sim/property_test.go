@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+	"mlckpt/internal/stats"
+)
+
+// TestSimulatorTracksAnalyticWallClock is the property test tying the
+// event-driven simulator to Formula 21: over randomized valid problem
+// instances, the mean simulated wall clock must converge to the analytic
+// self-consistent E(T_w) within a statistical bound.
+//
+// The bound has two parts. The sampling part is a 5-sigma confidence
+// radius on the simulated mean (the simulator is stochastic). The model
+// part is a 15% relative allowance: Formula 21 is a first-order model
+// (failures during recovery/rollback are re-linearized, not compounded),
+// so the simulator legitimately sits a few percent away even at infinite
+// sample size. A violation of BOTH bounds means the simulator and the
+// analytic model have drifted apart.
+func TestSimulatorTracksAnalyticWallClock(t *testing.T) {
+	const (
+		cases    = 10
+		runs     = 150
+		modelTol = 0.15
+		sigmas   = 5.0
+	)
+	rng := stats.NewRNG(20260806)
+	for c := 0; c < cases; c++ {
+		p, n, x, wct := randomInstance(t, rng)
+		t.Run(fmt.Sprintf("case-%d", c), func(t *testing.T) {
+			agg, err := Simulate(Config{Params: p, N: n, X: x}, runs, rng.Uint64())
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			mean := agg.WallClock.Mean
+			ciRadius := sigmas * agg.WallClock.StdDev / math.Sqrt(float64(agg.WallClock.Count))
+			gap := math.Abs(mean - wct)
+			if gap > ciRadius && gap > modelTol*wct {
+				t.Errorf("simulated mean %.1f s vs analytic E(T_w) %.1f s: gap %.1f s exceeds both %g-sigma radius %.1f s and %g%% model tolerance",
+					mean, wct, gap, sigmas, ciRadius, 100*modelTol)
+			}
+			if agg.Truncated > 0 {
+				t.Logf("note: %d/%d runs truncated", agg.Truncated, agg.Runs)
+			}
+		})
+	}
+}
+
+// randomInstance draws a random valid problem, picks a scale near the
+// model's sweet spot, and solves the Young/μ fixed point for the analytic
+// E(T_w) (Formula 21) at that configuration.
+func randomInstance(t *testing.T, rng *stats.RNG) (p *model.Params, n float64, x []float64, wct float64) {
+	t.Helper()
+	u := func(lo, hi float64) float64 { return lo + (hi-lo)*rng.Float64() }
+
+	nStar := u(5e3, 3e4)
+	// Increasing per-level costs, decreasing per-level rates: the shape
+	// every multilevel deployment has (cheap local copies fail often,
+	// expensive PFS writes rarely).
+	base := u(0.5, 2)
+	costs := []overhead.Cost{
+		overhead.Constant(base),
+		overhead.Constant(base * u(2, 3)),
+		overhead.Constant(base * u(4, 6)),
+		overhead.Constant(base * u(12, 25)),
+	}
+	r1 := u(4, 16)
+	rates := fmt.Sprintf("%g-%g-%g-%g", r1, r1/2, r1/4, r1/8)
+	p = &model.Params{
+		Te:      u(50, 400) * failure.SecondsPerDay,
+		Speedup: speedup.Quadratic{Kappa: u(0.3, 0.8), NStar: nStar},
+		Levels:  overhead.SymmetricLevels(costs, u(0.4, 1)),
+		Alloc:   u(5, 30),
+		Rates:   failure.MustParseRates(rates, nStar),
+	}
+	n = nStar * u(0.3, 0.7)
+
+	// Young/μ fixed point: the same loop Algorithm 1's inner solve uses.
+	x = []float64{1, 1, 1, 1}
+	wct = p.ProductiveTime(n)
+	for k := 0; k < 200; k++ {
+		mu := p.MuOfN(n, wct)
+		for i := range x {
+			x[i] = math.Max(1, p.YoungX(n, mu, i))
+		}
+		next := p.WallClock(x, n, mu)
+		if math.Abs(next-wct) < 1e-6*wct {
+			wct = next
+			break
+		}
+		wct = next
+	}
+	if wct <= 0 || math.IsNaN(wct) || math.IsInf(wct, 0) {
+		t.Fatalf("degenerate analytic wall clock %g for random instance", wct)
+	}
+	return p, n, x, wct
+}

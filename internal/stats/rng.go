@@ -27,6 +27,23 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// DeriveSeed maps a root seed and a substream name to an independent stream
+// seed. The derivation depends only on (root, key) — never on call order or
+// goroutine scheduling — which is what lets a parallel sweep hand every job
+// its own RNG stream while staying bit-identical for any worker count. The
+// key bytes are folded in FNV-1a style and the result is pushed through the
+// SplitMix64 finalizer so near-identical keys land far apart in state space.
+func DeriveSeed(root uint64, key string) uint64 {
+	h := root ^ 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 0x100000001b3
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzSpec mirrors the shape of the problem descriptions hashed by the
+// sweep layer: scalars, a slice, and a string label.
+type fuzzSpec struct {
+	Te, Kappa, NStar, Alloc float64
+	Rates                   []float64
+	Label                   string
+	Policy                  int
+}
+
+// FuzzKeyEquality is the cache-key correctness gate: for any inputs, two
+// independently constructed equal specs must hash to the same key, the
+// hash must be stable across calls, and non-marshalable specs must fail
+// cleanly instead of colliding or panicking.
+func FuzzKeyEquality(f *testing.F) {
+	f.Add(3e6, 0.46, 1e6, 60.0, 16.0, 12.0, 8.0, 4.0, "16-12-8-4", 0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, "", 0)
+	f.Add(-1.5, math.MaxFloat64, 1e-300, 1.0, 0.5, 0.25, 0.125, 0.0625, "tiny", 3)
+	f.Add(math.NaN(), 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, "nan", 1)
+	f.Add(math.Inf(1), 1.0, math.Inf(-1), 1.0, 1.0, 1.0, 1.0, 1.0, "inf", 2)
+	f.Fuzz(func(t *testing.T, te, kappa, nstar, alloc, r1, r2, r3, r4 float64, label string, policy int) {
+		mk := func() fuzzSpec {
+			return fuzzSpec{
+				Te: te, Kappa: kappa, NStar: nstar, Alloc: alloc,
+				Rates:  []float64{r1, r2, r3, r4},
+				Label:  label,
+				Policy: policy,
+			}
+		}
+		a, errA := Key("fuzz", mk())
+		b, errB := Key("fuzz", mk())
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("equal specs split on error: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			// Non-finite floats are rejected; that must be the only reason.
+			for _, v := range []float64{te, kappa, nstar, alloc, r1, r2, r3, r4} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return
+				}
+			}
+			t.Fatalf("finite spec rejected: %v", errA)
+		}
+		if a != b {
+			t.Fatalf("equal specs hashed differently: %s vs %s", a, b)
+		}
+		// Stability under re-hashing.
+		if c := MustKey("fuzz", mk()); c != a {
+			t.Fatalf("key not stable: %s vs %s", c, a)
+		}
+		// A changed policy must move the key (SHA-256 collision odds are
+		// far below any realistic flake rate).
+		other := mk()
+		other.Policy = policy + 1
+		if MustKey("fuzz", other) == a {
+			t.Fatal("policy change did not change the key")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+type keySpec struct {
+	Te     float64
+	Rates  []float64
+	Levels []keyLevel
+	Label  string
+}
+
+type keyLevel struct {
+	Const, Coeff float64
+}
+
+func TestKeyEqualValuesEqualKeys(t *testing.T) {
+	mk := func() keySpec {
+		return keySpec{
+			Te:     3e6,
+			Rates:  []float64{16, 12, 8, 4},
+			Levels: []keyLevel{{0.866, 0}, {2.586, 0}, {3.886, 0}, {5.5, 0.0212}},
+			Label:  "16-12-8-4",
+		}
+	}
+	a, err := Key("solve", mk(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key("solve", mk(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equal specs hashed differently: %s vs %s", a, b)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := keySpec{Te: 3e6, Rates: []float64{16, 12, 8, 4}}
+	ref := MustKey("solve", base)
+	perturbed := base
+	perturbed.Te = 3e6 + 1
+	if MustKey("solve", perturbed) == ref {
+		t.Error("Te change not reflected in key")
+	}
+	if MustKey("simulate", base) == ref {
+		t.Error("scope change not reflected in key")
+	}
+	if MustKey("solve", base, 1) == ref {
+		t.Error("extra part not reflected in key")
+	}
+	if !strings.HasPrefix(ref, "solve:") {
+		t.Errorf("key %q not scope-prefixed", ref)
+	}
+}
+
+func TestKeyRejectsNonFiniteFloats(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Key("solve", keySpec{Te: v}); err == nil {
+			t.Errorf("Key accepted %v", v)
+		}
+	}
+}
+
+func TestMustKeyPanicsOnBadValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustKey did not panic on NaN")
+		}
+	}()
+	MustKey("solve", math.NaN())
+}

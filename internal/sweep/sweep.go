@@ -1,0 +1,183 @@
+// Package sweep is the parallel parameter-sweep engine behind the paper
+// reproduction and the public mlckpt.Sweep facade. The paper's entire
+// evaluation (Figures 1-7, Tables II-IV) is a grid of independent
+// Optimize+Simulate cells over scales, failure rates, policies, and level
+// configurations; this package fans such grids across a bounded worker
+// pool while keeping three guarantees:
+//
+//   - Determinism: every job's stochastic half receives an RNG stream
+//     derived from the job's identity (stats.DeriveSeed), never from
+//     execution order, so a sweep's results are bit-identical for any
+//     worker count — workers=1 and workers=8 produce the same bytes.
+//   - Memoization: jobs carry canonical content keys (Key) for their
+//     solve and post stages; a concurrency-safe singleflight cache
+//     (Cache) computes each distinct key once, so repeated inner solves
+//     (Algorithm 1 fixed-point runs shared between Figure 5, Table III,
+//     and Figure 7) are paid for once per process.
+//   - Order independence: Run returns outcomes indexed by job position,
+//     so callers read results as if the sweep had run serially.
+//
+// Run spawns its own pool per call and therefore composes: a top-level
+// sweep over experiments may itself contain jobs that run nested sweeps
+// over policy grids, all sharing one Cache, without deadlock.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mlckpt/internal/stats"
+)
+
+// Job is one cell of a sweep: a deterministic Solve stage (typically an
+// Algorithm 1 run) and an optional stochastic Post stage (typically a
+// batch of simulations) that consumes the solve result and a seed.
+type Job struct {
+	// Name labels the job in progress reports and errors.
+	Name string
+
+	// SolveKey, when non-empty, memoizes Solve results in the run's Cache
+	// under this key. Build it with Key so equal problems share one solve.
+	SolveKey string
+	// Solve computes the deterministic half of the job. Required.
+	Solve func() (any, error)
+
+	// PostKey, when non-empty, memoizes Post results under this key. It
+	// must cover everything Post depends on (including run counts and
+	// seed inputs), not just the solve identity.
+	PostKey string
+	// Post, when non-nil, consumes the solve result with a deterministic
+	// per-job seed (see Seed).
+	Post func(solved any, seed uint64) (any, error)
+
+	// Seed, when non-zero, is passed to Post verbatim. When zero, the
+	// engine derives one as stats.DeriveSeed(Options.RootSeed, identity)
+	// where identity is PostKey, else SolveKey, else Name — a pure
+	// function of the job, independent of scheduling.
+	Seed uint64
+}
+
+// identity is the substream name used for seed derivation.
+func (j Job) identity() string {
+	switch {
+	case j.PostKey != "":
+		return j.PostKey
+	case j.SolveKey != "":
+		return j.SolveKey
+	default:
+		return j.Name
+	}
+}
+
+// Outcome is the result of one job, reported at the job's input position.
+type Outcome struct {
+	Index int
+	Name  string
+
+	Solved any // Solve result (possibly shared via the cache — treat as read-only)
+	Result any // Post result, nil when the job has no Post stage
+	Err    error
+
+	Seed        uint64 // seed handed to Post (0 when no Post stage ran)
+	SolveCached bool   // Solve was answered by the cache
+	PostCached  bool   // Post was answered by the cache
+}
+
+// Options tunes one Run call.
+type Options struct {
+	// Workers bounds the pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// RootSeed feeds per-job seed derivation for jobs without an explicit
+	// Seed. Zero is a valid root.
+	RootSeed uint64
+	// Cache memoizes Solve/Post stages across jobs and across Run calls.
+	// Nil gives the run a private cache.
+	Cache *Cache
+	// Progress, when non-nil, is called after every finished job with the
+	// completion count, the total, and the job's name. Calls arrive from
+	// worker goroutines but are serialized by the engine.
+	Progress func(done, total int, name string)
+}
+
+// Run executes the jobs on a bounded worker pool and returns their
+// outcomes in job order. It never fails as a whole: per-job errors are
+// reported in the corresponding Outcome so a sweep survives isolated
+// divergent cells.
+func Run(jobs []Job, opts Options) []Outcome {
+	outcomes := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outcomes
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	var progressMu sync.Mutex
+	done := 0
+	report := func(name string) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		opts.Progress(done, len(jobs), name)
+		progressMu.Unlock()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = runJob(i, jobs[i], cache, opts.RootSeed)
+				report(jobs[i].Name)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return outcomes
+}
+
+func runJob(i int, j Job, cache *Cache, root uint64) Outcome {
+	out := Outcome{Index: i, Name: j.Name}
+	if j.Solve == nil {
+		out.Err = fmt.Errorf("sweep: job %q has no Solve stage", j.Name)
+		return out
+	}
+	if j.SolveKey != "" {
+		out.Solved, out.Err, out.SolveCached = cache.Do(j.SolveKey, j.Solve)
+	} else {
+		out.Solved, out.Err = j.Solve()
+	}
+	if out.Err != nil || j.Post == nil {
+		return out
+	}
+	out.Seed = j.Seed
+	if out.Seed == 0 {
+		out.Seed = stats.DeriveSeed(root, j.identity())
+	}
+	solved, seed := out.Solved, out.Seed
+	if j.PostKey != "" {
+		out.Result, out.Err, out.PostCached = cache.Do(j.PostKey, func() (any, error) {
+			return j.Post(solved, seed)
+		})
+	} else {
+		out.Result, out.Err = j.Post(solved, seed)
+	}
+	return out
+}

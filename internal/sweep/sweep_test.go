@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mlckpt/internal/stats"
+)
+
+// runStochasticGrid runs a grid whose Post stages draw from their seeds,
+// returning the drawn values in job order. Used to prove worker-count
+// independence.
+func runStochasticGrid(t *testing.T, workers int) []uint64 {
+	t.Helper()
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name:  fmt.Sprintf("job-%d", i),
+			Solve: func() (any, error) { return i * i, nil },
+			Post: func(solved any, seed uint64) (any, error) {
+				rng := stats.NewRNG(seed)
+				v := rng.Uint64() ^ uint64(solved.(int))
+				return v, nil
+			},
+		}
+	}
+	outs := Run(jobs, Options{Workers: workers, RootSeed: 99})
+	vals := make([]uint64, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Index != i {
+			t.Fatalf("outcome %d carries index %d", i, o.Index)
+		}
+		vals[i] = o.Result.(uint64)
+	}
+	return vals
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := runStochasticGrid(t, 1)
+	for _, workers := range []int{2, 8, 64} {
+		got := runStochasticGrid(t, workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d diverged from workers=1", workers)
+		}
+	}
+}
+
+func TestRunReturnsOutcomesInJobOrder(t *testing.T) {
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Solve: func() (any, error) { return i, nil }}
+	}
+	outs := Run(jobs, Options{Workers: 4})
+	for i, o := range outs {
+		if o.Solved.(int) != i {
+			t.Errorf("slot %d holds result %v", i, o.Solved)
+		}
+	}
+}
+
+func TestRunMemoizesEqualSolveKeys(t *testing.T) {
+	var computes atomic.Int32
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name:     fmt.Sprintf("dup-%d", i),
+			SolveKey: "shared-problem",
+			Solve: func() (any, error) {
+				computes.Add(1)
+				return "solved", nil
+			},
+		}
+	}
+	cache := NewCache()
+	outs := Run(jobs, Options{Workers: 8, Cache: cache})
+	if got := computes.Load(); got != 1 {
+		t.Errorf("shared problem solved %d times", got)
+	}
+	cached := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if o.Solved.(string) != "solved" {
+			t.Errorf("job %s: solved = %v", o.Name, o.Solved)
+		}
+		if o.SolveCached {
+			cached++
+		}
+	}
+	if cached != len(jobs)-1 {
+		t.Errorf("%d of %d jobs hit the cache", cached, len(jobs))
+	}
+	if hits, misses := cache.Stats(); hits != uint64(len(jobs)-1) || misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestRunCacheSharedAcrossCalls(t *testing.T) {
+	var computes atomic.Int32
+	job := Job{
+		Name:     "cell",
+		SolveKey: "cell-key",
+		Solve: func() (any, error) {
+			computes.Add(1)
+			return 7, nil
+		},
+	}
+	cache := NewCache()
+	Run([]Job{job}, Options{Cache: cache})
+	outs := Run([]Job{job}, Options{Cache: cache})
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times across two runs", computes.Load())
+	}
+	if !outs[0].SolveCached {
+		t.Error("second run did not hit the cache")
+	}
+}
+
+func TestRunIsolatesJobErrors(t *testing.T) {
+	boom := errors.New("diverged")
+	jobs := []Job{
+		{Name: "bad", Solve: func() (any, error) { return nil, boom }},
+		{Name: "good", Solve: func() (any, error) { return 1, nil }},
+		{Name: "bad-post", Solve: func() (any, error) { return 1, nil },
+			Post: func(any, uint64) (any, error) { return nil, boom }},
+	}
+	outs := Run(jobs, Options{Workers: 2})
+	if !errors.Is(outs[0].Err, boom) || !errors.Is(outs[2].Err, boom) {
+		t.Errorf("errors not reported: %v / %v", outs[0].Err, outs[2].Err)
+	}
+	if outs[1].Err != nil || outs[1].Solved.(int) != 1 {
+		t.Errorf("healthy job contaminated: %+v", outs[1])
+	}
+}
+
+func TestRunMissingSolveIsAnError(t *testing.T) {
+	outs := Run([]Job{{Name: "empty"}}, Options{})
+	if outs[0].Err == nil {
+		t.Error("nil Solve accepted")
+	}
+}
+
+func TestRunProgressCoversEveryJob(t *testing.T) {
+	var calls atomic.Int32
+	lastDone := atomic.Int32{}
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = Job{Name: "p", Solve: func() (any, error) { return nil, nil }}
+	}
+	Run(jobs, Options{Workers: 4, Progress: func(done, total int, name string) {
+		calls.Add(1)
+		lastDone.Store(int32(done))
+		if total != 12 || name != "p" {
+			t.Errorf("progress(%d, %d, %q)", done, total, name)
+		}
+	}})
+	if calls.Load() != 12 || lastDone.Load() != 12 {
+		t.Errorf("progress called %d times, final done %d", calls.Load(), lastDone.Load())
+	}
+}
+
+func TestRunNestedSweepsDoNotDeadlock(t *testing.T) {
+	// A top-level sweep whose jobs each run their own inner sweep on the
+	// same cache — the cmd/experiments composition pattern.
+	cache := NewCache()
+	outer := make([]Job, 4)
+	for i := range outer {
+		i := i
+		outer[i] = Job{
+			Name: fmt.Sprintf("outer-%d", i),
+			Solve: func() (any, error) {
+				inner := make([]Job, 8)
+				for k := range inner {
+					k := k
+					inner[k] = Job{
+						Name:     fmt.Sprintf("inner-%d", k),
+						SolveKey: MustKey("nested", k),
+						Solve:    func() (any, error) { return k, nil },
+					}
+				}
+				outs := Run(inner, Options{Workers: 2, Cache: cache})
+				sum := 0
+				for _, o := range outs {
+					sum += o.Solved.(int)
+				}
+				return sum, nil
+			},
+		}
+	}
+	outs := Run(outer, Options{Workers: 4, Cache: cache})
+	for _, o := range outs {
+		if o.Err != nil || o.Solved.(int) != 28 {
+			t.Errorf("%s: %v %v", o.Name, o.Solved, o.Err)
+		}
+	}
+	// 8 distinct inner problems across 4 outer jobs → 8 computes, 24 hits.
+	if hits, misses := cache.Stats(); misses != 8 || hits != 24 {
+		t.Errorf("nested cache stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestExplicitSeedWinsOverDerivation(t *testing.T) {
+	job := Job{
+		Name:  "pinned",
+		Solve: func() (any, error) { return nil, nil },
+		Post:  func(_ any, seed uint64) (any, error) { return seed, nil },
+		Seed:  12345,
+	}
+	outs := Run([]Job{job}, Options{RootSeed: 777})
+	if outs[0].Result.(uint64) != 12345 || outs[0].Seed != 12345 {
+		t.Errorf("seed not honored: %+v", outs[0])
+	}
+}
+
+func TestDerivedSeedIndependentOfJobPosition(t *testing.T) {
+	mk := func(name string) Job {
+		return Job{
+			Name:  name,
+			Solve: func() (any, error) { return nil, nil },
+			Post:  func(_ any, seed uint64) (any, error) { return seed, nil },
+		}
+	}
+	a := Run([]Job{mk("x"), mk("y")}, Options{RootSeed: 5})
+	b := Run([]Job{mk("y"), mk("x")}, Options{RootSeed: 5})
+	if a[0].Seed != b[1].Seed || a[1].Seed != b[0].Seed {
+		t.Errorf("seeds moved with position: %v vs %v", a, b)
+	}
+	if a[0].Seed == a[1].Seed {
+		t.Error("distinct jobs share a seed")
+	}
+}

@@ -1,0 +1,170 @@
+package mlckpt
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func sweepTestJobs() []SweepJob {
+	var jobs []SweepJob
+	for _, rates := range [][]float64{{16, 12, 8, 4}, {8, 6, 4, 2}} {
+		for _, pol := range []Policy{MLOptScale, SLOptScale} {
+			jobs = append(jobs, SweepJob{
+				Spec:   PaperSpec(3e6, rates),
+				Policy: pol,
+				Sim:    &SimOptions{Runs: 20},
+			})
+		}
+	}
+	return jobs
+}
+
+// marshalOutcomes canonicalizes a sweep result for byte comparison,
+// dropping CacheHit (execution metadata that legitimately varies with
+// scheduling).
+func marshalOutcomes(t *testing.T, outs []SweepOutcome) string {
+	t.Helper()
+	for i := range outs {
+		if outs[i].Err != nil {
+			t.Fatalf("job %d (%s): %v", i, outs[i].Name, outs[i].Err)
+		}
+		outs[i].CacheHit = false
+	}
+	blob, err := json.Marshal(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestSweepDeterministicAcrossWorkers is the concurrency-correctness gate:
+// the same sweep must produce byte-identical results for every worker
+// count.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	want := marshalOutcomes(t, Sweep(sweepTestJobs(), SweepOptions{Workers: 1}))
+	for _, workers := range []int{2, 8} {
+		got := marshalOutcomes(t, Sweep(sweepTestJobs(), SweepOptions{Workers: workers}))
+		if got != want {
+			t.Errorf("workers=%d diverges from workers=1:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+}
+
+// TestSweepMatchesDirectCalls pins the facade to the serial API: a sweep
+// job with an explicit seed must reproduce Optimize+Simulate exactly.
+func TestSweepMatchesDirectCalls(t *testing.T) {
+	spec := PaperSpec(3e6, []float64{16, 12, 8, 4})
+	sim := SimOptions{Runs: 25, Seed: 99}
+	outs := Sweep([]SweepJob{{Spec: spec, Policy: MLOptScale, Sim: &sim}}, SweepOptions{Workers: 4})
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	plan, err := Optimize(spec, MLOptScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Simulate(spec, plan, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs[0].Plan, plan) {
+		t.Errorf("sweep plan %+v != direct plan %+v", outs[0].Plan, plan)
+	}
+	if outs[0].Report == nil || !reflect.DeepEqual(*outs[0].Report, report) {
+		t.Errorf("sweep report %+v != direct report %+v", outs[0].Report, report)
+	}
+}
+
+// TestSweepSharesEqualSolves: jobs differing only in simulation settings
+// must pay for Algorithm 1 once.
+func TestSweepSharesEqualSolves(t *testing.T) {
+	spec := PaperSpec(3e6, []float64{16, 12, 8, 4})
+	jobs := make([]SweepJob, 4)
+	for i := range jobs {
+		jobs[i] = SweepJob{Spec: spec, Policy: MLOptScale, Sim: &SimOptions{Runs: 5, Seed: uint64(i + 1)}}
+	}
+	outs := Sweep(jobs, SweepOptions{Workers: 1}) // serial: hit order is deterministic
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if wantHit := i > 0; o.CacheHit != wantHit {
+			t.Errorf("job %d: CacheHit = %v, want %v", i, o.CacheHit, wantHit)
+		}
+		if !reflect.DeepEqual(o.Plan, outs[0].Plan) {
+			t.Errorf("job %d: cached plan differs", i)
+		}
+	}
+	// Cached plans must not share backing arrays: mutating one outcome
+	// cannot corrupt another.
+	outs[0].Plan.Intervals[0] = -1
+	if outs[1].Plan.Intervals[0] == -1 {
+		t.Error("cached outcomes share Intervals backing array")
+	}
+}
+
+// TestSweepIsolatesJobErrors: one invalid spec fails its own cell only.
+func TestSweepIsolatesJobErrors(t *testing.T) {
+	bad := PaperSpec(3e6, []float64{16, 12, 8, 4})
+	bad.TeCoreDays = -1
+	jobs := []SweepJob{
+		{Name: "bad", Spec: bad, Policy: MLOptScale},
+		{Name: "good", Spec: PaperSpec(3e6, []float64{16, 12, 8, 4}), Policy: MLOptScale},
+	}
+	outs := Sweep(jobs, SweepOptions{Workers: 2})
+	if outs[0].Err == nil {
+		t.Error("invalid spec did not error")
+	}
+	if outs[1].Err != nil {
+		t.Errorf("valid job poisoned by invalid sibling: %v", outs[1].Err)
+	}
+	if outs[1].Plan.Scale <= 0 {
+		t.Errorf("valid job has no plan: %+v", outs[1].Plan)
+	}
+}
+
+// TestSweepDefaults: empty policy resolves to MLOptScale, names are
+// auto-generated, optimize-only jobs have no report.
+func TestSweepDefaults(t *testing.T) {
+	outs := Sweep([]SweepJob{{Spec: PaperSpec(3e6, []float64{16, 12, 8, 4})}}, SweepOptions{})
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	if outs[0].Policy != MLOptScale {
+		t.Errorf("default policy = %q", outs[0].Policy)
+	}
+	if outs[0].Name == "" {
+		t.Error("no auto-generated name")
+	}
+	if outs[0].Report != nil {
+		t.Error("optimize-only job has a report")
+	}
+}
+
+// TestSweepProgressReported: the callback sees every job exactly once and
+// a consistent total.
+func TestSweepProgressReported(t *testing.T) {
+	jobs := sweepTestJobs()
+	for i := range jobs {
+		jobs[i].Sim = nil
+	}
+	calls := 0
+	outs := Sweep(jobs, SweepOptions{Workers: 2, Progress: func(done, total int, name string) {
+		calls++
+		if total != len(jobs) {
+			t.Errorf("total = %d, want %d", total, len(jobs))
+		}
+		if done < 1 || done > total {
+			t.Errorf("done = %d out of range", done)
+		}
+	}})
+	if calls != len(jobs) {
+		t.Errorf("progress called %d times, want %d", calls, len(jobs))
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+}
