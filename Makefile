@@ -1,14 +1,28 @@
 GO ?= go
 
-.PHONY: build test race short fuzz golden bench
+.PHONY: build test race short fuzz golden bench lint lint-fix-report
 
 build:
 	$(GO) build ./...
 
-# Tier-1 gate: everything must build, vet clean, and pass.
+# Tier-1 gate: everything must build, vet clean, lint clean, and pass.
+# mlckptlint (cmd/mlckptlint, docs/LINT.md) enforces the determinism
+# invariants the paper reproduction depends on: no ambient nondeterminism
+# in model packages, no order-sensitive map iteration, no exact float
+# equality outside tests, no unsynchronized captured writes from
+# loop-launched goroutines.
 test:
 	$(GO) vet ./...
+	$(GO) run ./cmd/mlckptlint ./...
 	$(GO) test ./...
+
+# The project linter alone (file:line diagnostics, exit 1 on findings).
+lint:
+	$(GO) run ./cmd/mlckptlint ./...
+
+# Findings as machine-readable JSON, for editors and fix scripts.
+lint-fix-report:
+	$(GO) run ./cmd/mlckptlint -json ./...
 
 # Concurrency gate: the full suite under the race detector, including the
 # workers=1 vs workers=8 sweep determinism tests. The heaviest golden

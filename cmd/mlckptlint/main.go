@@ -1,0 +1,150 @@
+// Command mlckptlint runs mlckpt's project-specific determinism and
+// concurrency analyzers (internal/lint) over the module and reports
+// findings with file:line positions. It is part of the tier-1 gate:
+// `make test` runs it alongside go vet, and any finding fails the build.
+//
+// Usage:
+//
+//	mlckptlint [-json] [-checks a,b] [patterns ...]
+//
+// Patterns are package directories relative to the module root; "./..."
+// (the default) walks the whole module. Exit status: 0 clean, 1 findings
+// reported, 2 usage or load error.
+//
+// Findings are suppressed case by case with a justified comment on the
+// offending line or the line directly above it:
+//
+//	//lint:allow <check> <reason>
+//
+// See docs/LINT.md for what each check catches and why.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mlckpt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlckptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		selected, err := selectAnalyzers(analyzers, *checks)
+		if err != nil {
+			fmt.Fprintln(stderr, "mlckptlint:", err)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "mlckptlint:", err)
+		return 2
+	}
+	mod, err := lint.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "mlckptlint:", err)
+		return 2
+	}
+	units, err := mod.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "mlckptlint:", err)
+		return 2
+	}
+
+	findings := lint.Run(units, analyzers)
+	if *jsonOut {
+		type jsonFinding struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Check:   f.Check,
+				File:    relativize(cwd, f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "mlckptlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
+				relativize(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "mlckptlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*lint.Analyzer, csv string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(lint.AnalyzerNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks selected nothing")
+	}
+	return out, nil
+}
+
+func relativize(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the process into dir for one test (the driver resolves the
+// module from the working directory, like go vet does).
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// defectiveModule writes a module with one nondeterminism defect and one
+// clean package.
+func defectiveModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/drv\n\ngo 1.22\n",
+		"internal/sim/clock.go": `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().Unix() }
+`,
+		"internal/model/ok.go": `package model
+
+func Twice(x float64) float64 { return 2 * x }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestDriverReportsFindingsWithPositions(t *testing.T) {
+	chdir(t, defectiveModule(t))
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, filepath.FromSlash("internal/sim/clock.go")+":5:") ||
+		!strings.Contains(out, "nondeterminism") {
+		t.Fatalf("missing file:line diagnostic in output:\n%s", out)
+	}
+}
+
+func TestDriverExitsZeroOnCleanPackage(t *testing.T) {
+	chdir(t, defectiveModule(t))
+	var stdout, stderr strings.Builder
+	if code := run([]string{"internal/model"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0; output: %s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run should print nothing, got:\n%s", stdout.String())
+	}
+}
+
+func TestDriverJSONOutput(t *testing.T) {
+	chdir(t, defectiveModule(t))
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var findings []struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Check != "nondeterminism" || findings[0].Line != 5 {
+		t.Fatalf("unexpected JSON findings: %+v", findings)
+	}
+}
+
+func TestDriverChecksSelection(t *testing.T) {
+	chdir(t, defectiveModule(t))
+	var stdout, stderr strings.Builder
+	// Only floateq selected: the time.Now defect is out of scope.
+	if code := run([]string{"-checks", "floateq", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0; output: %s%s", code, stdout.String(), stderr.String())
+	}
+	if code := run([]string{"-checks", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check: exit code %d, want 2", code)
+	}
+}
+
+func TestDriverList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, name := range []string{"nondeterminism", "maporder", "floateq", "goroutine-capture"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

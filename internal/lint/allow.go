@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	check string
+	file  string
+	line  int
+}
+
+// allowSet indexes directives by file and line for suppression lookups.
+type allowSet map[string]map[int][]string // file -> line -> checks allowed
+
+// suppresses reports whether a directive covers the finding. A directive
+// applies to findings on its own line (end-of-line form) and on the line
+// directly below it (standalone comment form).
+func (s allowSet) suppresses(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, check := range lines[line] {
+			if check == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //lint:allow directive in the unit. Directives
+// must name a known check and carry a non-empty reason; violations are
+// returned as findings under the "lintdirective" pseudo-check so the
+// escape hatch cannot silently rot.
+func collectAllows(u *Unit, known map[string]bool) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	for _, file := range u.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, directiveFinding(pos, "//lint:allow needs a check name and a reason"))
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, directiveFinding(pos, "//lint:allow names unknown check "+fields[0]))
+					continue
+				case len(fields) < 2:
+					bad = append(bad, directiveFinding(pos, "//lint:allow "+fields[0]+" needs a justification after the check name"))
+					continue
+				}
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return set, bad
+}
+
+func directiveFinding(pos token.Position, msg string) Finding {
+	return Finding{Check: "lintdirective", Pos: pos, Message: msg}
+}

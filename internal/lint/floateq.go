@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands outside
+// test files. The golden regression compares every reproduced number with
+// relative tolerance for a reason: exact float equality either works by
+// accident or breaks the moment an optimization reorders an expression.
+// Comparisons where one side is the exact constant zero are allowed —
+// zero is exactly representable and `x == 0` is the idiomatic sentinel /
+// division guard in the numeric code.
+func FloatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "flag ==/!= between floating-point operands outside test files",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(u *Unit) []Finding {
+	var out []Finding
+	for _, file := range u.Files {
+		if u.isTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := u.Info.Types[be.X], u.Info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // compile-time constant comparison is exact
+			}
+			if isExactZero(xt.Value) || isExactZero(yt.Value) {
+				return true
+			}
+			out = append(out, Finding{
+				Check: "floateq",
+				Pos:   u.Fset.Position(be.OpPos),
+				Message: "floating-point " + be.Op.String() +
+					" comparison; use a relative-tolerance check (the golden comparisons use 1e-9) or //lint:allow with the exactness argument",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isExactZero reports whether v is a known constant equal to zero.
+func isExactZero(v constant.Value) bool {
+	if v == nil || v.Kind() == constant.Unknown {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+func TestFloatEq(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		testFile bool
+		want     map[int][]string
+	}{
+		{
+			name: "equality and inequality between floats",
+			src: `package fixture
+
+func bad(a, b float64) (bool, bool) {
+	return a == b, a != b
+}
+`,
+			want: map[int][]string{4: {"floateq", "floateq"}},
+		},
+		{
+			name: "float32 operands are covered",
+			src: `package fixture
+
+func bad(a, b float32) bool { return a == b }
+`,
+			want: map[int][]string{3: {"floateq"}},
+		},
+		{
+			name: "mixed untyped constant comparison",
+			src: `package fixture
+
+func bad(a float64) bool { return a == 0.25 }
+`,
+			want: map[int][]string{3: {"floateq"}},
+		},
+		{
+			name: "comparison with exact zero is the sanctioned sentinel",
+			src: `package fixture
+
+func ok(a float64) (bool, bool) { return a == 0, a != 0.0 }
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "compile-time constant comparison is exact",
+			src: `package fixture
+
+const eps = 1e-9
+
+func ok() bool { return eps == 1e-9 }
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "integer and string comparisons are not flagged",
+			src: `package fixture
+
+func ok(a, b int, s string) bool { return a == b && s != "x" }
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "ordered comparisons are not equality",
+			src: `package fixture
+
+func ok(a, b float64) bool { return a < b || a >= b }
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "test files are exempt (golden asserts use tolerances already)",
+			src: `package fixture
+
+func helper(a, b float64) bool { return a == b }
+`,
+			testFile: true,
+			want:     map[int][]string{},
+		},
+		{
+			name: "allow directive with justification suppresses",
+			src: `package fixture
+
+func annotated(a, b float64) bool {
+	//lint:allow floateq both sides are copies of one assigned value, identity is intended
+	return a == b
+}
+`,
+			want: map[int][]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, "internal/model", tc.src, tc.testFile)
+			checkLines(t, u, FloatEqAnalyzer(), tc.want)
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// GoroutineCaptureAnalyzer flags goroutines launched inside a loop whose
+// closures write a variable captured from outside the loop without an
+// obvious synchronization primitive — the exact shape of the data race
+// PR 2 found by hand in the heat test. The safe idioms stay silent:
+// writing a distinct slice element per goroutine (results[i] = ...),
+// passing values as closure parameters, sending on a channel, or locking
+// a mutex inside the closure.
+func GoroutineCaptureAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine-capture",
+		Doc:  "flag loop-launched goroutines writing captured shared variables without synchronization",
+		Run:  runGoroutineCapture,
+	}
+}
+
+func runGoroutineCapture(u *Unit) []Finding {
+	var out []Finding
+	for _, file := range u.Files {
+		par := newParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			loop := par.enclosingLoop(gs)
+			if loop == nil {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named function: its body is checked where it is defined
+			}
+			if locksInside(lit) {
+				return true
+			}
+			out = append(out, capturedWrites(u, loop, lit)...)
+			return true
+		})
+	}
+	return out
+}
+
+// locksInside reports whether the closure acquires a lock anywhere —
+// a deliberately coarse signal that the writes are synchronized; the
+// race detector gate remains the ground truth.
+func locksInside(lit *ast.FuncLit) bool {
+	locked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					locked = true
+				}
+			}
+		}
+		return !locked
+	})
+	return locked
+}
+
+// capturedWrites reports writes inside the go-closure whose targets are
+// declared outside the enclosing loop statement.
+func capturedWrites(u *Unit, loop ast.Node, lit *ast.FuncLit) []Finding {
+	var out []Finding
+	check := func(n ast.Node, lhs ast.Expr) {
+		if f, ok := sharedWrite(u, loop, lit, lhs); ok {
+			out = append(out, Finding{
+				Check:   "goroutine-capture",
+				Pos:     u.Fset.Position(n.Pos()),
+				Message: f,
+			})
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				check(stmt, lhs)
+			}
+		case *ast.IncDecStmt:
+			check(stmt, stmt.X)
+		}
+		return true
+	})
+	return out
+}
+
+// sharedWrite classifies one lvalue written inside the closure. Slice and
+// array element writes are exempt (the coordinated per-index idiom used
+// by the sweep and simulator worker pools); everything else rooted in an
+// identifier declared outside the loop is a shared write.
+func sharedWrite(u *Unit, loop ast.Node, lit *ast.FuncLit, lhs ast.Expr) (string, bool) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return "", false
+	}
+	if !declaredOutside(u, id, loop) {
+		return "", false // per-iteration variable: each goroutine has its own
+	}
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		t := u.Info.TypeOf(ix.X)
+		if t != nil && !isMap(t) {
+			return "", false // distinct-slice-slot idiom: safe by construction
+		}
+		if isMap(t) {
+			return fmt.Sprintf("goroutine launched in a loop writes captured map %q: concurrent map writes crash; send results on a channel or lock a mutex", id.Name), true
+		}
+	}
+	return fmt.Sprintf("goroutine launched in a loop writes captured variable %q without synchronization (the PR-2 heat-test race shape); write to a per-iteration slot, send on a channel, or guard with a mutex", id.Name), true
+}

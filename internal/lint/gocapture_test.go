@@ -1,0 +1,179 @@
+package lint
+
+import "testing"
+
+func TestGoroutineCapture(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want map[int][]string
+	}{
+		{
+			name: "captured scalar written from loop goroutines (the heat-test race shape)",
+			src: `package fixture
+
+func bad(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		go func() {
+			sum += x
+		}()
+	}
+	return sum
+}
+`,
+			want: map[int][]string{7: {"goroutine-capture"}},
+		},
+		{
+			name: "captured error variable written from goroutines",
+			src: `package fixture
+
+import "fmt"
+
+func bad(n int) error {
+	var firstErr error
+	for i := 0; i < n; i++ {
+		go func() {
+			firstErr = fmt.Errorf("boom %d", i)
+		}()
+	}
+	return firstErr
+}
+`,
+			want: map[int][]string{9: {"goroutine-capture"}},
+		},
+		{
+			name: "per-index slice writes are the sanctioned worker-pool idiom",
+			src: `package fixture
+
+func ok(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		go func() {
+			out[i] = 2 * x
+		}()
+	}
+	return out
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "captured map writes crash under concurrency",
+			src: `package fixture
+
+func bad(xs []string) map[string]int {
+	out := map[string]int{}
+	for _, x := range xs {
+		go func() {
+			out[x] = len(x)
+		}()
+	}
+	return out
+}
+`,
+			want: map[int][]string{7: {"goroutine-capture"}},
+		},
+		{
+			name: "mutex-guarded writes are not flagged",
+			src: `package fixture
+
+import "sync"
+
+func ok(xs []float64) float64 {
+	var mu sync.Mutex
+	var sum float64
+	for _, x := range xs {
+		go func() {
+			mu.Lock()
+			sum += x
+			mu.Unlock()
+		}()
+	}
+	return sum
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "channel results are not flagged",
+			src: `package fixture
+
+func ok(xs []float64, ch chan float64) {
+	for _, x := range xs {
+		go func() {
+			ch <- 2 * x
+		}()
+	}
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "goroutine outside any loop is not this defect class",
+			src: `package fixture
+
+func ok() int {
+	x := 0
+	go func() {
+		x = 1
+	}()
+	return x
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "per-iteration locals belong to one goroutine each",
+			src: `package fixture
+
+func ok(xs []float64) {
+	for range xs {
+		local := 0.0
+		go func() {
+			local = 1
+			_ = local
+		}()
+	}
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "writes through a captured pointer are shared state",
+			src: `package fixture
+
+func bad(xs []float64, total *float64) {
+	for _, x := range xs {
+		go func() {
+			*total += x
+		}()
+	}
+}
+`,
+			want: map[int][]string{6: {"goroutine-capture"}},
+		},
+		{
+			name: "allow directive keeps a justified exception",
+			src: `package fixture
+
+func annotated(xs []float64) float64 {
+	var last float64
+	for _, x := range xs {
+		go func() {
+			last = x //lint:allow goroutine-capture deliberate racy sampling for a progress gauge, never feeds results
+		}()
+	}
+	return last
+}
+`,
+			want: map[int][]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, "internal/sweep", tc.src, false)
+			checkLines(t, u, GoroutineCaptureAnalyzer(), tc.want)
+		})
+	}
+}

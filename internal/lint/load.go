@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module locates and loads packages of one Go module for analysis. It is
+// deliberately self-contained: packages are parsed with go/parser, build
+// constraints honored via go/build.MatchFile, module-internal imports
+// type-checked from source by the loader itself, and standard-library
+// imports resolved through go/importer — no module downloads, no
+// golang.org/x/tools dependency.
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path declared in go.mod
+	Fset *token.FileSet
+
+	std    types.Importer            // gc export data for the standard library
+	stdSrc types.Importer            // source fallback when export data is absent
+	cache  map[string]*types.Package // import path -> checked base package
+	active map[string]bool           // import cycle guard
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module handle.
+func FindModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path := modulePath(string(data))
+			if path == "" {
+				return nil, fmt.Errorf("lint: no module line in %s", filepath.Join(d, "go.mod"))
+			}
+			fset := token.NewFileSet()
+			return &Module{
+				Root:   d,
+				Path:   path,
+				Fset:   fset,
+				std:    importer.ForCompiler(fset, "gc", nil),
+				stdSrc: importer.ForCompiler(fset, "source", nil),
+				cache:  map[string]*types.Package{},
+				active: map[string]bool{},
+			}, nil
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load resolves the given patterns ("./...", "dir/...", or plain package
+// directories, relative to the module root) and returns one analysis Unit
+// per compilation unit found: the package with its in-package test files,
+// plus a separate unit for an external _test package when present.
+func (m *Module) Load(patterns []string) ([]*Unit, error) {
+	dirs, err := m.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := m.loadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// expand turns patterns into a sorted list of package directories.
+func (m *Module) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(m.Root, base)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// goFiles lists the buildable .go files of dir under the default build
+// context (so //go:build race twins and the like do not collide), split
+// into non-test and test files.
+func (m *Module) goFiles(dir string) (src, test []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := build.Default
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !match {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			test = append(test, filepath.Join(dir, name))
+		} else {
+			src = append(src, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(src)
+	sort.Strings(test)
+	return src, test, nil
+}
+
+func (m *Module) parse(paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(m.Fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// relPath maps a package directory to its module-relative import path
+// ("" for the root package).
+func (m *Module) relPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// loadDir type-checks one package directory into analysis units.
+func (m *Module) loadDir(dir string) ([]*Unit, error) {
+	src, test, err := m.goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(src)+len(test) == 0 {
+		return nil, nil
+	}
+	srcFiles, err := m.parse(src)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := m.parse(test)
+	if err != nil {
+		return nil, err
+	}
+	pkgName := ""
+	if len(srcFiles) > 0 {
+		pkgName = srcFiles[0].Name.Name
+	} else if len(testFiles) > 0 {
+		// Test-only directory: the in-package name is whatever the first
+		// non _test-suffixed file declares.
+		pkgName = strings.TrimSuffix(testFiles[0].Name.Name, "_test")
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		if f.Name.Name == pkgName {
+			inPkg = append(inPkg, f)
+		} else {
+			external = append(external, f)
+		}
+	}
+	rel := m.relPath(dir)
+	importPath := m.Path
+	if rel != "" {
+		importPath = m.Path + "/" + rel
+	}
+
+	var units []*Unit
+	if len(srcFiles)+len(inPkg) > 0 {
+		u, err := m.check(importPath, rel, append(append([]*ast.File{}, srcFiles...), inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(external) > 0 {
+		u, err := m.check(importPath+"_test", rel+"_test", external)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// check runs go/types over one set of files. Type errors are tolerated
+// (the tier-1 gate builds the tree before linting it, so real breakage
+// surfaces there); the best-effort Info is enough for the analyzers.
+func (m *Module) check(importPath, rel string, files []*ast.File) (*Unit, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(m),
+		Error:    func(error) {}, // collect nothing: best-effort typing
+	}
+	pkg, _ := conf.Check(importPath, m.Fset, files, info)
+	return &Unit{Fset: m.Fset, Path: rel, Files: files, Info: info, Pkg: pkg}, nil
+}
+
+// moduleImporter resolves imports during type checking: module-internal
+// paths are type-checked from source (non-test files only, as the language
+// defines), everything else is assumed to be standard library and loaded
+// from gc export data with a source-importer fallback.
+type moduleImporter Module
+
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	m := (*Module)(imp)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		if m.active[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		m.active[path] = true
+		defer delete(m.active, path)
+		dir := filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, m.Path), "/")))
+		src, _, err := m.goFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		files, err := m.parse(src)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: imp, Error: func(error) {}}
+		pkg, err := conf.Check(path, m.Fset, files, nil)
+		if pkg == nil {
+			return nil, err
+		}
+		m.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err != nil {
+		pkg, err = m.stdSrc.Import(path)
+	}
+	if err == nil {
+		m.cache[path] = pkg
+	}
+	return pkg, err
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags `range` loops over maps whose bodies are
+// order-sensitive: accumulating into a float (addition is not
+// associative), appending to a result slice, emitting output, or sending
+// on a channel. Go randomizes map iteration order per run, so any of
+// these silently makes results depend on the run — the canonical way
+// scheduling-independent code becomes nondeterministic. The fix is to
+// collect the keys, sort them, and range over the sorted slice; the
+// analyzer recognizes that idiom (an appended key slice that is sorted
+// later in the same function) and does not flag it.
+func MapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag order-sensitive bodies of range-over-map loops (float accumulation, result append, output)",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(u *Unit) []Finding {
+	var out []Finding
+	for _, file := range u.Files {
+		par := newParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMap(u.Info.TypeOf(rs.X)) {
+				return true
+			}
+			out = append(out, mapRangeFindings(u, file, par, rs)...)
+			return true
+		})
+	}
+	return out
+}
+
+func mapRangeFindings(u *Unit, file *ast.File, par parents, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	report := func(format string, args ...any) {
+		out = append(out, Finding{
+			Check: "maporder",
+			Pos:   u.Fset.Position(rs.Pos()),
+			Message: fmt.Sprintf("map iteration order is nondeterministic; sort the keys first: %s",
+				fmt.Sprintf(format, args...)),
+		})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false // executes elsewhere; judged at its own call sites
+		case *ast.RangeStmt:
+			if isMap(u.Info.TypeOf(stmt.X)) {
+				return false // the nested map range gets its own findings
+			}
+		case *ast.SendStmt:
+			if id := rootIdent(stmt.Chan); id != nil && declaredOutside(u, id, rs) {
+				report("line %d sends on channel %q from inside the loop", u.Fset.Position(stmt.Pos()).Line, id.Name)
+			}
+		case *ast.AssignStmt:
+			mapRangeAssign(u, file, par, rs, stmt, report)
+		case *ast.CallExpr:
+			if name, ok := outputCall(u, file, stmt); ok {
+				report("line %d emits output via %s inside the loop", u.Fset.Position(stmt.Pos()).Line, name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mapRangeAssign inspects one assignment inside a map-range body and
+// reports order-sensitive updates; sorted-key-collection appends are
+// recognized and skipped.
+func mapRangeAssign(u *Unit, file *ast.File, par parents, rs *ast.RangeStmt, as *ast.AssignStmt, report func(string, ...any)) {
+	line := u.Fset.Position(as.Pos()).Line
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		id := rootIdent(lhs)
+		if id == nil || !declaredOutside(u, id, rs) {
+			return
+		}
+		t := u.Info.TypeOf(lhs)
+		if isFloat(t) {
+			report("line %d accumulates into float %q, and float addition is not associative", line, id.Name)
+		} else if isString(t) {
+			report("line %d concatenates into string %q in iteration order", line, id.Name)
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id := rootIdent(as.Lhs[i])
+			if id == nil || !declaredOutside(u, id, rs) {
+				continue
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isAppendCall(u, call) {
+				if sortedAfterLoop(u, file, par, rs, id) {
+					continue // the collect-keys-then-sort idiom
+				}
+				report("line %d appends to slice %q in iteration order", line, id.Name)
+				continue
+			}
+			// Self-referential update (x = x + v) of a float or string.
+			t := u.Info.TypeOf(as.Lhs[i])
+			if (isFloat(t) || isString(t)) && mentionsObject(u, rhs, id) {
+				report("line %d accumulates into %q in iteration order", line, id.Name)
+			}
+		}
+	}
+}
+
+func isAppendCall(u *Unit, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if obj, resolved := u.Info.Uses[id]; resolved {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}
+
+// mentionsObject reports whether expr references the same object id is
+// bound to.
+func mentionsObject(u *Unit, expr ast.Expr, id *ast.Ident) bool {
+	target := u.Info.ObjectOf(id)
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if other, ok := n.(*ast.Ident); ok {
+			if target != nil && u.Info.ObjectOf(other) == target {
+				found = true
+			} else if target == nil && other.Name == id.Name {
+				found = true // degraded typing: fall back to names
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfterLoop reports whether the slice bound to id is passed to a
+// sort.* / slices.Sort* call after the range loop within the enclosing
+// function — the canonical deterministic-iteration idiom.
+func sortedAfterLoop(u *Unit, file *ast.File, par parents, rs *ast.RangeStmt, id *ast.Ident) bool {
+	fn := par.enclosingFunc(rs)
+	if fn == nil {
+		return false
+	}
+	target := u.Info.ObjectOf(id)
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch pkgPathOfIdent(u, file, pkgID) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !strings.HasPrefix(sel.Sel.Name, "Sort") && !strings.Contains(sel.Sel.Name, "Sorted") &&
+			!strings.HasPrefix(sel.Sel.Name, "Strings") && !strings.HasPrefix(sel.Sel.Name, "Ints") &&
+			!strings.HasPrefix(sel.Sel.Name, "Float64s") && !strings.HasPrefix(sel.Sel.Name, "Stable") {
+			return true
+		}
+		for _, arg := range call.Args {
+			root := rootIdent(arg)
+			if root == nil {
+				continue
+			}
+			if obj := u.Info.ObjectOf(root); (obj != nil && obj == target) || (target == nil && root.Name == id.Name) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// outputCall reports whether the call writes program output: the fmt
+// print family, a Write*/print method on an external writer, or the
+// experiment Table builder's Add.
+func outputCall(u *Unit, file *ast.File, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch pkgPathOfIdent(u, file, id) {
+		case "fmt":
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint") {
+				return "fmt." + name, true
+			}
+			return "", false
+		case "log":
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") {
+				return "log." + name, true
+			}
+			return "", false
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "(writer)." + name, true
+	case "Add":
+		// Project-specific: experiments.Table.Add emits a result row.
+		if t := u.Info.TypeOf(sel.X); t != nil {
+			if named, ok := deref(t).(*types.Named); ok && named.Obj().Name() == "Table" {
+				return "Table.Add", true
+			}
+		}
+	}
+	return "", false
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,224 @@
+package lint
+
+import "testing"
+
+func TestMapOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want map[int][]string
+	}{
+		{
+			name: "append to a result slice in map order",
+			src: `package fixture
+
+func bad(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: map[int][]string{5: {"maporder"}},
+		},
+		{
+			name: "collect keys then sort is the sanctioned idiom",
+			src: `package fixture
+
+import "sort"
+
+func ok(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "collect keys then slices.Sort also passes",
+			src: `package fixture
+
+import "slices"
+
+func ok(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "float accumulation is order-dependent",
+			src: `package fixture
+
+func bad(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+			want: map[int][]string{5: {"maporder"}},
+		},
+		{
+			name: "self-referential float update is order-dependent",
+			src: `package fixture
+
+func bad(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v
+	}
+	return sum
+}
+`,
+			want: map[int][]string{5: {"maporder"}},
+		},
+		{
+			name: "integer accumulation is associative and fine",
+			src: `package fixture
+
+func ok(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "string concatenation is order-dependent",
+			src: `package fixture
+
+func bad(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+			want: map[int][]string{5: {"maporder"}},
+		},
+		{
+			name: "printing from the loop emits in map order",
+			src: `package fixture
+
+import "fmt"
+
+func bad(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+			want: map[int][]string{6: {"maporder"}},
+		},
+		{
+			name: "writer methods count as output",
+			src: `package fixture
+
+import "strings"
+
+func bad(m map[string]string) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`,
+			want: map[int][]string{7: {"maporder"}},
+		},
+		{
+			name: "channel send leaks map order",
+			src: `package fixture
+
+func bad(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+`,
+			want: map[int][]string{4: {"maporder"}},
+		},
+		{
+			name: "map-keyed writes are order-independent",
+			src: `package fixture
+
+func ok(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "range over a slice is never flagged",
+			src: `package fixture
+
+func ok(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "max and min scans are order-independent reads",
+			src: `package fixture
+
+func ok(m map[string]float64) float64 {
+	best := -1.0
+	var name string
+	for k, v := range m {
+		if v > best {
+			best, name = v, k
+		}
+	}
+	_ = name
+	return best
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "allow on the range line suppresses the loop",
+			src: `package fixture
+
+import "fmt"
+
+func annotated(m map[string]int) {
+	for k := range m { //lint:allow maporder debug dump, order is irrelevant to the reader
+		fmt.Println(k)
+	}
+}
+`,
+			want: map[int][]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, "internal/experiments", tc.src, false)
+			checkLines(t, u, MapOrderAnalyzer(), tc.want)
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ModelPackages are the module-relative package prefixes that carry the
+// paper's model, the simulators, and the experiment harness. Inside them
+// every source of nondeterminism must be explicit: randomness comes from
+// the seeded internal/stats RNG, time from the simulator clock, and
+// configuration from parameters — never from the process environment.
+var ModelPackages = []string{
+	"internal/sim",
+	"internal/mpisim",
+	"internal/sweep",
+	"internal/experiments",
+	"internal/model",
+	"internal/stats",
+}
+
+// bannedCalls maps import path -> function name -> remedy note. An empty
+// map bans every exported function of the package except those listed in
+// allowedCalls.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "virtual time must come from the simulator clock, not the wall clock",
+		"Since": "virtual time must come from the simulator clock, not the wall clock",
+		"Until": "virtual time must come from the simulator clock, not the wall clock",
+	},
+	"os": {
+		"Getenv":    "model configuration must be an explicit parameter, not ambient environment",
+		"LookupEnv": "model configuration must be an explicit parameter, not ambient environment",
+		"Environ":   "model configuration must be an explicit parameter, not ambient environment",
+	},
+	"math/rand":    nil, // global source: everything banned except constructors
+	"math/rand/v2": nil,
+}
+
+// allowedRandCalls are the math/rand identifiers that do not touch the
+// global source (constructors and types); only these escape the ban.
+var allowedRandCalls = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"Source":     true,
+	"Rand":       true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+	"Source64":   true,
+}
+
+// NondeterminismAnalyzer forbids ambient-nondeterminism entry points
+// (wall-clock time, the global math/rand source, the environment) in
+// model-bearing packages, where a single stray call silently breaks the
+// bit-for-bit reproducibility the golden regression asserts.
+func NondeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nondeterminism",
+		Doc:  "forbid time.Now/time.Since, the global math/rand source, and os.Getenv in model-bearing packages",
+		Run:  runNondeterminism,
+	}
+}
+
+// inModelPackage reports whether the unit is one of the model-bearing
+// packages (or a subpackage / external test package of one).
+func inModelPackage(u *Unit) bool {
+	path := strings.TrimSuffix(u.Path, "_test")
+	for _, p := range ModelPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNondeterminism(u *Unit) []Finding {
+	if !inModelPackage(u) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := pkgPathOfIdent(u, file, id)
+			remedies, banned := bannedCalls[path]
+			if !banned {
+				return true
+			}
+			name := sel.Sel.Name
+			var msg string
+			switch {
+			case remedies != nil:
+				remedy, hit := remedies[name]
+				if !hit {
+					return true
+				}
+				msg = path + "." + name + " in model package " + u.Path + ": " + remedy
+			case allowedRandCalls[name]:
+				return true
+			default:
+				msg = path + "." + name + " uses the global rand source in model package " + u.Path +
+					": all randomness must flow through the seeded internal/stats RNG"
+			}
+			out = append(out, Finding{
+				Check:   "nondeterminism",
+				Pos:     u.Fset.Position(sel.Pos()),
+				Message: msg,
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package lint
+
+import "testing"
+
+func TestNondeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		path string // unit path the fixture pretends to live in
+		src  string
+		want map[int][]string
+	}{
+		{
+			name: "wall clock and environment in a model package",
+			path: "internal/sim",
+			src: `package fixture
+
+import (
+	"os"
+	"time"
+)
+
+func bad() {
+	start := time.Now()
+	_ = time.Since(start)
+	_ = os.Getenv("SEED")
+}
+`,
+			want: map[int][]string{
+				9:  {"nondeterminism"},
+				10: {"nondeterminism"},
+				11: {"nondeterminism"},
+			},
+		},
+		{
+			name: "global rand source banned, seeded constructor allowed",
+			path: "internal/experiments",
+			src: `package fixture
+
+import "math/rand"
+
+func bad() int {
+	r := rand.New(rand.NewSource(7))
+	rand.Shuffle(3, func(i, j int) {})
+	return r.Intn(10) + rand.Intn(10)
+}
+`,
+			want: map[int][]string{
+				7: {"nondeterminism"},
+				8: {"nondeterminism"},
+			},
+		},
+		{
+			name: "same calls outside model packages are fine",
+			path: "internal/erasure",
+			src: `package fixture
+
+import "time"
+
+func ok() int64 { return time.Now().Unix() }
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "subpackage of a model package is covered",
+			path: "internal/sim/deep",
+			src: `package fixture
+
+import "time"
+
+func bad() int64 { return time.Now().Unix() }
+`,
+			want: map[int][]string{5: {"nondeterminism"}},
+		},
+		{
+			name: "external test package of a model package is covered",
+			path: "internal/mpisim_test",
+			src: `package fixture
+
+import "time"
+
+func bad() int64 { return time.Now().Unix() }
+`,
+			want: map[int][]string{5: {"nondeterminism"}},
+		},
+		{
+			name: "allow directive on the line above suppresses",
+			path: "internal/sim",
+			src: `package fixture
+
+import "time"
+
+func annotated() int64 {
+	//lint:allow nondeterminism progress logging only, never feeds the model
+	return time.Now().Unix()
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "end-of-line allow directive suppresses",
+			path: "internal/sim",
+			src: `package fixture
+
+import "time"
+
+func annotated() int64 {
+	return time.Now().Unix() //lint:allow nondeterminism progress logging only, never feeds the model
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "allow naming the wrong check does not suppress",
+			path: "internal/sim",
+			src: `package fixture
+
+import "time"
+
+func annotated() int64 {
+	//lint:allow floateq wrong check name
+	return time.Now().Unix()
+}
+`,
+			want: map[int][]string{7: {"nondeterminism"}},
+		},
+		{
+			name: "allow without a reason is itself a finding",
+			path: "internal/sim",
+			src: `package fixture
+
+import "time"
+
+func annotated() int64 {
+	//lint:allow nondeterminism
+	return time.Now().Unix()
+}
+`,
+			want: map[int][]string{6: {"lintdirective"}, 7: {"nondeterminism"}},
+		},
+		{
+			name: "allow naming an unknown check is itself a finding",
+			path: "internal/sim",
+			src: `package fixture
+
+func fine() {} //lint:allow nosuchcheck because reasons
+`,
+			want: map[int][]string{3: {"lintdirective"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, tc.path, tc.src, false)
+			checkLines(t, u, NondeterminismAnalyzer(), tc.want)
+		})
+	}
+}

@@ -106,6 +106,7 @@ func Brent(f Func, a, b, tol float64, maxIter int) (RootResult, error) {
 			return RootResult{Root: b, FRoot: fb, Iterations: i, Converged: true}, nil
 		}
 		var s float64
+		//lint:allow floateq exact distinctness guards the (fa-fc)/(fb-fc) divisions below; a tolerance would reintroduce the division-by-near-zero it prevents
 		if fa != fc && fb != fc {
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +

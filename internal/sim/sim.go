@@ -260,6 +260,7 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 			return -1
 		}
 		for i := c; i < L; i++ {
+			//lint:allow floateq q and lastCkpt[i] are the same stored value when they match (assigned from one expression), so exact identity is the correct test
 			if lastCkpt[i] == q {
 				return i
 			}

@@ -32,6 +32,7 @@ func NewInterpolated(samples []Sample) (*Interpolated, error) {
 		if s.Speedup < 0 {
 			return nil, fmt.Errorf("%w: negative speedup %g", ErrFit, s.Speedup)
 		}
+		//lint:allow floateq rejecting exact duplicate sample scales is the point; nearby-but-distinct scales are valid interpolation knots
 		if len(m.ns) > 0 && s.N == m.ns[len(m.ns)-1] {
 			return nil, fmt.Errorf("%w: duplicate scale %g", ErrFit, s.N)
 		}

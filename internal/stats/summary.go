@@ -94,6 +94,7 @@ func Histogram(xs []float64, n int) (counts []int, edges []float64) {
 	}
 	s := Summarize(xs)
 	lo, hi := s.Min, s.Max
+	//lint:allow floateq exact equality is the degenerate all-equal-samples case that would make the bin width zero
 	if lo == hi {
 		hi = lo + 1
 	}
