@@ -47,5 +47,10 @@ fuzz:
 golden:
 	$(GO) run ./cmd/experiments -no-progress all > docs_results_reference.txt
 
+# Benchmark snapshot: fixed -benchtime/-count so runs are comparable, the
+# text output archived as JSON (ns/op, B/op, allocs/op per benchmark) via
+# cmd/benchsnap. Commit BENCH_<date>.json to track baselines in git.
+BENCH_DATE := $(shell date +%Y-%m-%d)
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 1 ./... \
+		| tee /dev/stderr | $(GO) run ./cmd/benchsnap > BENCH_$(BENCH_DATE).json

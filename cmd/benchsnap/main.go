@@ -1,0 +1,135 @@
+// Command benchsnap converts `go test -bench` text output into a stable
+// JSON snapshot, so benchmark baselines can be diffed and tracked in git
+// without depending on external benchstat tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchsnap > BENCH.json
+//
+// Benchmarks are sorted by name in the output; lines that are not
+// benchmark results (package headers, PASS/ok, skips) are ignored. Exit
+// status 1 means no benchmark lines were found — an upstream failure
+// (compile error, -run filter eating everything) rather than a slow day.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. B/op and allocs/op are
+// pointers: they are only present when the run used -benchmem.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// snapshot is the document benchsnap emits.
+type snapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+const schema = "mlckpt.bench/v1"
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFig2-8       1    123456789 ns/op    4096 B/op    12 allocs/op
+//
+// and reports ok=false for anything that is not a benchmark result.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: fields[0], Iterations: iters}
+	// The remainder is (value, unit) pairs.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return benchResult{}, false
+			}
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return benchResult{}, false
+			}
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return benchResult{}, false
+			}
+			r.AllocsPerOp = &v
+		}
+	}
+	if !seen {
+		return benchResult{}, false
+	}
+	return r, true
+}
+
+// parseBench reads `go test -bench` output and returns the sorted results.
+func parseBench(in io.Reader) ([]benchResult, error) {
+	var results []benchResult
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseBenchLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsnap: ")
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines on stdin (did the bench run fail?)")
+	}
+	doc := snapshot{
+		Schema:     schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}

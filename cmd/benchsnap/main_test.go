@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mlckpt
+cpu: some CPU @ 2.4GHz
+BenchmarkFig2-8   	       1	 123456789 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkFig1-8   	       2	  98765432 ns/op
+--- SKIP: BenchmarkTab4
+    bench_test.go:133: skipped in -short mode
+PASS
+ok  	mlckpt	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	// Sorted by name: Fig1 before Fig2.
+	if results[0].Name != "BenchmarkFig1-8" || results[1].Name != "BenchmarkFig2-8" {
+		t.Errorf("wrong order: %s, %s", results[0].Name, results[1].Name)
+	}
+	fig1 := results[0]
+	if fig1.Iterations != 2 || fig1.NsPerOp != 98765432 {
+		t.Errorf("Fig1 = %+v", fig1)
+	}
+	if fig1.BytesPerOp != nil || fig1.AllocsPerOp != nil {
+		t.Error("Fig1 has memory stats; line had none")
+	}
+	fig2 := results[1]
+	if fig2.NsPerOp != 123456789 {
+		t.Errorf("Fig2 ns/op = %g", fig2.NsPerOp)
+	}
+	if fig2.BytesPerOp == nil || *fig2.BytesPerOp != 4096 {
+		t.Errorf("Fig2 B/op = %v", fig2.BytesPerOp)
+	}
+	if fig2.AllocsPerOp == nil || *fig2.AllocsPerOp != 12 {
+		t.Errorf("Fig2 allocs/op = %v", fig2.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	mlckpt	1.2s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoUnit-8 3 14",
+		"--- SKIP: BenchmarkTab4",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted junk line %q", line)
+		}
+	}
+}

@@ -15,6 +15,13 @@
 // -policy accepts "all"; every (case, policy) cell is solved concurrently
 // through mlckpt.Sweep. -sim N additionally validates each plan with N
 // stochastic simulation runs. Sweep results are independent of -workers.
+//
+// Observability (off by default; see docs/OBSERVABILITY.md): -metrics-out
+// writes a JSON metrics snapshot, -trace-out a Chrome trace-event timeline
+// on virtual time (byte-identical for every -workers setting), and -pprof
+// serves net/http/pprof on an address or writes cpu/heap profiles to a
+// directory. Both export flags cover the single-cell path too — a single
+// ckptopt run is just a one-job sweep.
 package main
 
 import (
@@ -27,23 +34,48 @@ import (
 
 	"mlckpt"
 	"mlckpt/internal/cli"
+	"mlckpt/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ckptopt: ")
 	var (
-		specPath = flag.String("spec", "", "path to a JSON Spec")
-		policy   = flag.String("policy", string(mlckpt.MLOptScale), "ml-opt-scale | sl-opt-scale | ml-ori-scale | sl-ori-scale | all")
-		paper    = flag.Bool("paper", false, "use the paper's Section IV problem")
-		te       = flag.Float64("te", 3e6, "workload in core-days (with -paper)")
-		rates    = flag.String("rates", "16-12-8-4", "failure case(s) r1-r2-r3-r4, comma-separated (with -paper)")
-		simRuns  = flag.Int("sim", 0, "validate each plan with N simulation runs (sweep mode)")
-		seed     = flag.Uint64("seed", 0, "root seed for -sim (0 = default)")
-		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
-		asJSON   = flag.Bool("json", false, "emit results as JSON")
+		specPath   = flag.String("spec", "", "path to a JSON Spec")
+		policy     = flag.String("policy", string(mlckpt.MLOptScale), "ml-opt-scale | sl-opt-scale | ml-ori-scale | sl-ori-scale | all")
+		paper      = flag.Bool("paper", false, "use the paper's Section IV problem")
+		te         = flag.Float64("te", 3e6, "workload in core-days (with -paper)")
+		rates      = flag.String("rates", "16-12-8-4", "failure case(s) r1-r2-r3-r4, comma-separated (with -paper)")
+		simRuns    = flag.Int("sim", 0, "validate each plan with N simulation runs (sweep mode)")
+		seed       = flag.Uint64("seed", 0, "root seed for -sim (0 = default)")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
+		asJSON     = flag.Bool("json", false, "emit results as JSON")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
+		pprofFlag  = flag.String("pprof", "", "serve net/http/pprof on addr (host:port) or write cpu/heap profiles to a directory")
 	)
 	flag.Parse()
+
+	if *pprofFlag != "" {
+		stop, err := cli.StartPprof(*pprofFlag)
+		if err != nil {
+			log.Fatalf("-pprof %s: %v", *pprofFlag, err)
+		}
+		defer stop()
+	}
+	collector := obs.NewCollector()
+	writeArtifacts := func() {
+		if *metricsOut != "" {
+			if err := cli.WriteMetrics(collector.Registry, *metricsOut); err != nil {
+				log.Fatalf("-metrics-out %s: %v", *metricsOut, err)
+			}
+		}
+		if *traceOut != "" {
+			if err := cli.WriteTrace(collector.Trace, *traceOut); err != nil {
+				log.Fatalf("-trace-out %s: %v", *traceOut, err)
+			}
+		}
+	}
 
 	rateCases := strings.Split(*rates, ",")
 	policies := []mlckpt.Policy{mlckpt.Policy(*policy)}
@@ -51,17 +83,23 @@ func main() {
 		policies = mlckpt.Policies
 	}
 
-	// The classic single-cell path keeps its original plain-text report.
+	// The classic single-cell path keeps its original plain-text report but
+	// runs as a one-job sweep so -metrics-out/-trace-out see the solver.
 	if len(rateCases) == 1 && len(policies) == 1 && *simRuns == 0 {
 		spec, err := cli.ResolveSpec(*paper, *specPath, *te, rateCases[0])
 		if err != nil {
 			flag.Usage()
 			log.Fatal(err)
 		}
-		plan, err := mlckpt.Optimize(spec, policies[0])
-		if err != nil {
+		outcomes := mlckpt.Sweep(
+			[]mlckpt.SweepJob{{Spec: spec, Policy: policies[0]}},
+			mlckpt.SweepOptions{Obs: collector, Clock: obs.WallClock},
+		)
+		if err := outcomes[0].Err; err != nil {
 			log.Fatal(err)
 		}
+		plan := outcomes[0].Plan
+		writeArtifacts()
 		if *asJSON {
 			emitJSON(plan)
 			return
@@ -102,12 +140,9 @@ func main() {
 	outcomes := mlckpt.Sweep(jobs, mlckpt.SweepOptions{
 		Workers:  *workers,
 		RootSeed: *seed,
-		Progress: func(done, total int, name string) {
-			fmt.Fprintf(os.Stderr, "\r\033[K%d/%d %s", done, total, name)
-			if done == total {
-				fmt.Fprintf(os.Stderr, "\r\033[K")
-			}
-		},
+		Progress: cli.Progress(os.Stderr, "sweep"),
+		Obs:      collector,
+		Clock:    obs.WallClock,
 	})
 	failed := 0
 	for _, o := range outcomes {
@@ -115,6 +150,11 @@ func main() {
 			failed++
 			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Name, o.Err)
 		}
+	}
+	if failed == 0 {
+		writeArtifacts()
+	} else if *metricsOut != "" || *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "telemetry artifacts withheld (incomplete sweep)")
 	}
 	if *asJSON {
 		emitJSON(outcomes)

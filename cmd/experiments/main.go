@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-runs N] [-quick] [-workers N] [-no-progress] <id>...
-//	experiments all
+//	experiments -metrics-out m.json -trace-out t.json all
 //
 // IDs: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens.
 // -quick shrinks run counts and scales for a fast smoke pass; the default
@@ -14,6 +14,20 @@
 // every setting. All experiments in one invocation share a memoization
 // cache, so e.g. "experiments fig5 tab3 fig7" pays for the te=3m
 // evaluation sweep once.
+//
+// Observability (all off by default; see docs/OBSERVABILITY.md):
+//
+//	-metrics-out FILE  write a JSON metrics snapshot (solver convergence,
+//	                   simulator event counts, cache effectiveness)
+//	-trace-out FILE    write a Chrome trace-event timeline on virtual time,
+//	                   byte-identical for every -workers setting
+//	-pprof TARGET      addr ("localhost:6060") serves net/http/pprof;
+//	                   anything else is a directory for cpu/heap profiles
+//
+// A failing experiment no longer aborts the invocation: the remaining ids
+// still run, a summary lists the failures, and the exit status is 1.
+// Telemetry artifacts are withheld when any experiment failed, so a file
+// at -metrics-out/-trace-out always describes a complete run.
 package main
 
 import (
@@ -22,7 +36,9 @@ import (
 	"log"
 	"os"
 
+	"mlckpt/internal/cli"
 	"mlckpt/internal/experiments"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/sweep"
 )
 
@@ -34,6 +50,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "fast smoke settings")
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
 		noProgress = flag.Bool("no-progress", false, "suppress progress reporting on stderr")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
+		pprofFlag  = flag.String("pprof", "", "serve net/http/pprof on addr (host:port) or write cpu/heap profiles to a directory")
 	)
 	flag.Parse()
 	ids := flag.Args()
@@ -50,125 +69,188 @@ func main() {
 		simRuns = 10
 	}
 
-	// One cache for the whole invocation: fig5/tab3/fig6/fig7 share their
-	// evaluation cells, and repeated ids are free reruns.
+	if *pprofFlag != "" {
+		stop, err := cli.StartPprof(*pprofFlag)
+		if err != nil {
+			log.Fatalf("-pprof %s: %v", *pprofFlag, err)
+		}
+		defer stop()
+	}
+
+	// One collector and one cache for the whole invocation: fig5/tab3/
+	// fig6/fig7 share their evaluation cells, and repeated ids are free
+	// reruns. The collector's deterministic sections depend only on the id
+	// list, never on -workers.
+	collector := obs.NewCollector()
 	cache := sweep.NewCache()
 	grid := func(id string) experiments.Grid {
-		g := experiments.Grid{Workers: *workers, Cache: cache}
+		g := experiments.Grid{
+			Workers: *workers,
+			Cache:   cache,
+			Obs:     collector,
+			Clock:   obs.WallClock,
+		}
 		if !*noProgress {
-			g.Progress = func(done, total int, name string) {
-				fmt.Fprintf(os.Stderr, "\r\033[K%s: %d/%d %s", id, done, total, name)
-				if done == total {
-					fmt.Fprintf(os.Stderr, "\r\033[K%s: %d jobs done\n", id, total)
-				}
-			}
+			g.Progress = cli.Progress(os.Stderr, id)
 		}
 		return g
 	}
 
+	var failures []string
 	for _, id := range ids {
-		var out string
-		var err error
-		switch id {
-		case "fig1":
-			out = experiments.Fig1(50).Render()
-		case "fig2":
-			maxScale := 1024
-			if *quick {
-				maxScale = 64
-			}
-			var r experiments.Fig2Result
-			r, err = experiments.Fig2Grid(maxScale, grid(id))
-			if err == nil {
-				out = r.Render()
-			}
-		case "fig3":
-			var r experiments.Fig3Result
-			r, err = experiments.Fig3(9)
-			if err == nil {
-				out = r.Render()
-			}
-		case "fig4":
-			ranks, real, sims := 32, 10, 400
-			if *quick {
-				ranks, real, sims = 16, 3, 100
-			}
-			var r experiments.Fig4Result
-			r, err = experiments.Fig4Grid(ranks, real, sims, grid(id))
-			if err == nil {
-				out = r.Render()
-			}
-		case "tab2":
-			scales := []int{128, 256, 384, 512, 1024}
-			if *quick {
-				scales = []int{128, 256, 512}
-			}
-			var r experiments.Tab2Result
-			r, err = experiments.Tab2Grid(scales, grid(id))
-			if err == nil {
-				out = r.Render()
-			}
-		case "fig5":
-			var r experiments.EvalResult
-			r, err = experiments.EvalGrid(3e6, simRuns, nil, grid(id))
-			if err == nil {
-				out = r.Render()
-			}
-		case "tab3":
-			var r experiments.EvalResult
-			r, err = experiments.EvalGrid(3e6, simRuns, nil, grid(id))
-			if err == nil {
-				out = r.RenderTab3()
-			}
-		case "fig6":
-			var r experiments.EvalResult
-			r, err = experiments.EvalGrid(10e6, simRuns, nil, grid(id))
-			if err == nil {
-				out = r.Render()
-			}
-		case "fig7":
-			var r3, r10 experiments.EvalResult
-			r3, err = experiments.EvalGrid(3e6, simRuns, nil, grid(id))
-			if err == nil {
-				r10, err = experiments.EvalGrid(10e6, simRuns, nil, grid(id))
-			}
-			if err == nil {
-				out = r3.RenderFig7() + r10.RenderFig7()
-			}
-		case "tab4":
-			var r experiments.Tab4Result
-			r, err = experiments.Tab4Grid(simRuns, nil, grid(id))
-			if err == nil {
-				out = r.Render()
-			}
-		case "conv":
-			var r experiments.ConvResult
-			r, err = experiments.Convergence(nil)
-			if err == nil {
-				out = r.Render()
-			}
-		case "ablate":
-			var r experiments.AblateResult
-			r, err = experiments.Ablate("16-12-8-4", simRuns)
-			if err == nil {
-				out = r.Render()
-			}
-		case "sens":
-			var r experiments.SensResult
-			r, err = experiments.Sensitivity("16-12-8-4")
-			if err == nil {
-				out = r.Render()
-			}
-		default:
-			log.Fatalf("unknown experiment id %q", id)
-		}
+		out, err := runExperiment(id, simRuns, *quick, grid)
 		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+			failures = append(failures, id)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			continue
 		}
 		fmt.Println(out)
 	}
+
+	// Fold the cache's own view into the registry: hits/misses are pure
+	// functions of the job set (deterministic); how many of the hits
+	// coalesced onto in-flight computations is scheduling (volatile).
+	hits, misses := cache.Stats()
+	collector.Count("sweep.cache.hits", int64(hits))
+	collector.Count("sweep.cache.misses", int64(misses))
+	collector.CountVolatile("sweep.cache.coalesced", int64(cache.Coalesced()))
+
 	if !*noProgress {
-		hits, misses := cache.Stats()
-		fmt.Fprintf(os.Stderr, "sweep cache: %d hits, %d misses\n", hits, misses)
+		printSummary(collector, len(ids)-len(failures), len(failures))
 	}
+	if len(failures) == 0 {
+		if *metricsOut != "" {
+			if err := cli.WriteMetrics(collector.Registry, *metricsOut); err != nil {
+				log.Fatalf("-metrics-out %s: %v", *metricsOut, err)
+			}
+		}
+		if *traceOut != "" {
+			if err := cli.WriteTrace(collector.Trace, *traceOut); err != nil {
+				log.Fatalf("-trace-out %s: %v", *traceOut, err)
+			}
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed: %v\n", len(failures), len(ids), failures)
+	if *metricsOut != "" || *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "experiments: telemetry artifacts withheld (incomplete run)")
+	}
+	os.Exit(1)
+}
+
+// runExperiment renders one experiment id. Errors — including unknown ids
+// — return to the caller so one bad id cannot abort the rest of the list.
+func runExperiment(id string, simRuns int, quick bool, grid func(string) experiments.Grid) (string, error) {
+	switch id {
+	case "fig1":
+		return experiments.Fig1(50).Render(), nil
+	case "fig2":
+		maxScale := 1024
+		if quick {
+			maxScale = 64
+		}
+		r, err := experiments.Fig2Grid(maxScale, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig3":
+		r, err := experiments.Fig3(9)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig4":
+		ranks, real, sims := 32, 10, 400
+		if quick {
+			ranks, real, sims = 16, 3, 100
+		}
+		r, err := experiments.Fig4Grid(ranks, real, sims, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "tab2":
+		scales := []int{128, 256, 384, 512, 1024}
+		if quick {
+			scales = []int{128, 256, 512}
+		}
+		r, err := experiments.Tab2Grid(scales, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig5":
+		r, err := experiments.EvalGrid(3e6, simRuns, nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "tab3":
+		r, err := experiments.EvalGrid(3e6, simRuns, nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.RenderTab3(), nil
+	case "fig6":
+		r, err := experiments.EvalGrid(10e6, simRuns, nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig7":
+		r3, err := experiments.EvalGrid(3e6, simRuns, nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		r10, err := experiments.EvalGrid(10e6, simRuns, nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r3.RenderFig7() + r10.RenderFig7(), nil
+	case "tab4":
+		r, err := experiments.Tab4Grid(simRuns, nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "conv":
+		r, err := experiments.ConvergenceGrid(nil, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "ablate":
+		r, err := experiments.Ablate("16-12-8-4", simRuns)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "sens":
+		r, err := experiments.Sensitivity("16-12-8-4")
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment id %q", id)
+	}
+}
+
+// printSummary replaces the old ad-hoc cache-stats line with a digest of
+// the registry snapshot.
+func printSummary(c *obs.Collector, succeeded, failed int) {
+	snap := c.Registry.Snapshot()
+	count := func(name string) int64 {
+		v, _ := snap.Counter(name)
+		return v
+	}
+	fmt.Fprintf(os.Stderr,
+		"experiments: %d ok, %d failed | sweep: %d jobs, cache %d hits / %d misses | solver: %d solves (%d converged) | sim: %d runs, %d failures injected | trace: %d events\n",
+		succeeded, failed,
+		count("sweep.jobs"),
+		count("sweep.cache.hits"), count("sweep.cache.misses"),
+		count("core.optimize.solves"), count("core.optimize.converged"),
+		count("sim.runs"), count("sim.failures"),
+		c.Trace.Len())
 }

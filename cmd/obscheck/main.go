@@ -1,0 +1,58 @@
+// Command obscheck validates observability artifacts produced by the
+// -metrics-out and -trace-out flags of cmd/experiments and cmd/ckptopt
+// against the exporter schemas (internal/obs). CI runs it on the artifacts
+// of a small experiment so schema drift fails the build rather than the
+// first downstream consumer.
+//
+// Usage:
+//
+//	obscheck [-metrics FILE] [-trace FILE]
+//
+// At least one flag is required. Exit status 0 means every given file
+// parsed and passed validation; 1 reports the first violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mlckpt/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obscheck: ")
+	var (
+		metricsPath = flag.String("metrics", "", "metrics snapshot JSON to validate")
+		tracePath   = flag.String("trace", "", "Chrome trace-event JSON to validate")
+	)
+	flag.Parse()
+	if *metricsPath == "" && *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := obs.ValidateMetricsJSON(data)
+		if err != nil {
+			log.Fatalf("%s: %v", *metricsPath, err)
+		}
+		fmt.Printf("%s: ok (%d metrics, %d volatile)\n", *metricsPath, len(snap.Metrics), len(snap.Volatile))
+	}
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := obs.ValidateTraceJSON(data)
+		if err != nil {
+			log.Fatalf("%s: %v", *tracePath, err)
+		}
+		fmt.Printf("%s: ok (%d trace events)\n", *tracePath, n)
+	}
+}

@@ -1,0 +1,154 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof <addr>
+	"os"
+	"path/filepath"
+	"runtime"
+	rtpprof "runtime/pprof"
+	"strings"
+	"time"
+
+	"mlckpt/internal/obs"
+)
+
+// This file is the CLIs' bridge between the deterministic observability
+// core (internal/obs) and the nondeterministic outside world: terminals,
+// wall clocks, the filesystem, and the pprof runtime. It lives here — not
+// in a model package — because everything in it may read real time; the
+// model packages are lint-gated against that (see docs/OBSERVABILITY.md).
+
+// IsTerminal reports whether f is an interactive terminal (character
+// device). It decides whether progress lines may use carriage returns and
+// erase sequences; redirected logs get plain lines instead.
+func IsTerminal(f *os.File) bool {
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+// Progress returns a per-job progress callback writing to w (normally
+// os.Stderr). On a terminal it rewrites one status line in place with
+// \r/erase sequences; when w is redirected to a file or pipe it degrades
+// to a single final "label: N jobs done" line, so logs are not littered
+// with escape codes. label prefixes every line; empty labels print bare
+// counts.
+func Progress(w *os.File, label string) func(done, total int, name string) {
+	prefix := label
+	if prefix != "" {
+		prefix += ": "
+	}
+	if !IsTerminal(w) {
+		return func(done, total int, name string) {
+			if done == total {
+				fmt.Fprintf(w, "%s%d jobs done\n", prefix, total)
+			}
+		}
+	}
+	return func(done, total int, name string) {
+		fmt.Fprintf(w, "\r\033[K%s%d/%d %s", prefix, done, total, name)
+		if done == total {
+			fmt.Fprintf(w, "\r\033[K%s%d jobs done\n", prefix, total)
+		}
+	}
+}
+
+// WriteFileAtomic writes data to path via a temporary file and rename, so
+// a crashed or interrupted process never leaves a half-written artifact
+// for a consumer (CI validation, trace viewers) to trip over.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// WriteMetrics exports the registry's snapshot to path as indented JSON,
+// stamping the capture time. The stamp is the snapshot's only wall-clock
+// field; comparisons across runs strip it (Snapshot.StripVolatile).
+func WriteMetrics(reg *obs.Registry, path string) error {
+	snap := reg.Snapshot()
+	snap.CapturedUnixNS = time.Now().UnixNano()
+	data, err := snap.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// WriteTrace exports the trace timeline to path as Chrome trace-event
+// JSON (open with chrome://tracing or https://ui.perfetto.dev). The bytes
+// are a pure function of the recorded events — no wall-clock stamp — so
+// equal workloads produce byte-identical files. Compact encoding: traces
+// are for viewers and validators, not eyeballs, and can reach thousands
+// of events.
+func WriteTrace(tr *obs.Trace, path string) error {
+	data, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// StartPprof enables profiling per the -pprof flag value and returns a
+// stop function to defer:
+//
+//   - target containing ":" (e.g. "localhost:6060"): serves net/http/pprof
+//     on that address for live inspection; stop is a no-op (the server
+//     dies with the process).
+//   - otherwise: treats target as a directory, writes cpu.pprof while the
+//     process runs, and heap.pprof at stop.
+func StartPprof(target string) (stop func(), err error) {
+	if strings.Contains(target, ":") {
+		srv := &http.Server{Addr: target}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(target, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(target, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := rtpprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		rtpprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(filepath.Join(target, "heap.pprof"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof heap: %v\n", err)
+			return
+		}
+		runtime.GC() // publish up-to-date allocation stats before the dump
+		if err := rtpprof.WriteHeapProfile(heap); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof heap: %v\n", err)
+		}
+		heap.Close()
+	}, nil
+}

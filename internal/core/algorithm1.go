@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mlckpt/internal/model"
+	"mlckpt/internal/obs"
 )
 
 // Optimize runs Algorithm 1: it initializes the expected failure counts
@@ -17,6 +18,14 @@ func Optimize(p *model.Params, opts Options) (Solution, error) {
 		return Solution{}, err
 	}
 	opts = opts.withDefaults()
+	// Telemetry: the track's time axis is cumulative inner iterations —
+	// a virtual clock measuring solver effort, deterministic across runs.
+	rec := obs.OrNop(opts.Obs)
+	track := opts.ObsLabel
+	if track == "" {
+		track = "optimize"
+	}
+	rec.Count("core.optimize.solves", 1)
 
 	// Lines 1–3: μ_i from the failure-free productive time at the starting
 	// scale (the ideal scale, capped by the machine size, or the pinned
@@ -49,6 +58,7 @@ func Optimize(p *model.Params, opts Options) (Solution, error) {
 		muStar := p.MuOfN(n, tEst)
 		wct := p.WallClock(x, n, muStar)
 		if math.IsNaN(wct) || math.IsInf(wct, 0) || wct <= 0 {
+			rec.Count("core.optimize.diverged", 1)
 			return sol, fmt.Errorf("%w: wall clock %g at outer step %d", ErrDiverged, wct, outer)
 		}
 		if opts.Damping > 0 {
@@ -80,6 +90,15 @@ func Optimize(p *model.Params, opts Options) (Solution, error) {
 		sol.History = append(sol.History, OuterStep{
 			Mu: append([]float64(nil), mu...), N: n, WallClock: wct, MuDelta: delta,
 		})
+		args := map[string]float64{
+			"n": n, "wct_s": wct, "mu_delta": delta, "inner_iters": float64(innerIters),
+		}
+		for i := range newMu {
+			args[fmt.Sprintf("mu_%d", i+1)] = newMu[i]
+			args[fmt.Sprintf("x_%d", i+1)] = x[i]
+		}
+		rec.Span(track, fmt.Sprintf("outer-%d", outer),
+			float64(sol.InnerIterations-innerIters), float64(innerIters), args)
 		mu, tEst = newMu, wct
 		sol.X, sol.N, sol.WallClock, sol.Mu = x, n, wct, newMu
 		sol.OuterIterations = outer
@@ -87,17 +106,37 @@ func Optimize(p *model.Params, opts Options) (Solution, error) {
 		// Divergence guard: μ exploding beyond any physical regime means
 		// the failure rates outpace progress (Section III-D's caveat).
 		if delta > 1e12 {
+			rec.Count("core.optimize.diverged", 1)
 			return sol, fmt.Errorf("%w: μ delta %g at outer step %d", ErrDiverged, delta, outer)
 		}
 		// Line 11: convergence on the failure counts.
 		if delta <= opts.OuterTol {
 			sol.Converged = true
+			finishOptimizeObs(rec, track, sol, true)
 			return sol, nil
 		}
 		if opts.SinglePass {
 			// Classic Young: no refresh loop; keep the first-pass answer.
+			finishOptimizeObs(rec, track, sol, false)
 			return sol, nil
 		}
 	}
+	rec.Count("core.optimize.no_converge", 1)
 	return sol, fmt.Errorf("%w: Algorithm 1 after %d outer iterations", ErrNoConverge, opts.OuterMaxIter)
+}
+
+// finishOptimizeObs records the end-of-solve telemetry: iteration-count
+// histograms (the paper reports 7–15 outer iterations at δ = 1e-12) and a
+// terminal instant on the solve's track.
+func finishOptimizeObs(rec obs.Recorder, track string, sol Solution, converged bool) {
+	if converged {
+		rec.Count("core.optimize.converged", 1)
+	}
+	rec.Observe("core.optimize.outer_iters", float64(sol.OuterIterations))
+	rec.Observe("core.optimize.inner_iters", float64(sol.InnerIterations))
+	rec.Observe("core.optimize.wct_days", sol.WallClock/86400)
+	rec.Instant(track, "done", float64(sol.InnerIterations), map[string]float64{
+		"outer_iters": float64(sol.OuterIterations),
+		"wct_s":       sol.WallClock,
+	})
 }

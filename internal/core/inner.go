@@ -7,6 +7,7 @@ import (
 
 	"mlckpt/internal/model"
 	"mlckpt/internal/numopt"
+	"mlckpt/internal/obs"
 )
 
 // SolveInner performs the inner convex solve of Algorithm 1 (line 5): with
@@ -109,6 +110,7 @@ func SolveInner(p *model.Params, tEst, nInit float64, opts Options) ([]float64, 
 
 // solveScale finds the root of ∂E/∂N on [floor, ceiling] for fixed x.
 func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) (float64, error) {
+	rec := obs.OrNop(opts.Obs)
 	grad := func(n float64) float64 {
 		if opts.NumericGradN {
 			f := func(v float64) float64 {
@@ -152,6 +154,8 @@ func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) 
 			// outer fixed point at small scales).
 			res, err := numopt.Bisect(grad, prev, cur, 1e-4, 200)
 			if err == nil {
+				rec.Count("core.bisect.calls", 1)
+				rec.Count("core.bisect.iters", int64(res.Iterations))
 				candidates = append(candidates, res.Root)
 			} else if !errors.Is(err, numopt.ErrNoBracket) {
 				return 0, fmt.Errorf("%w: scale bisection: %v", ErrDiverged, err)

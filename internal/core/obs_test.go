@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"mlckpt/internal/obs"
+)
+
+func TestOptimizeTelemetry(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	col := obs.NewCollector()
+	sol, err := Optimize(p, Options{OuterTol: 1e-12, Obs: col, ObsLabel: "opt/test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Registry.Snapshot()
+	if n, _ := snap.Counter("core.optimize.solves"); n != 1 {
+		t.Errorf("core.optimize.solves = %d, want 1", n)
+	}
+	if n, _ := snap.Counter("core.optimize.converged"); n != 1 {
+		t.Errorf("core.optimize.converged = %d, want 1", n)
+	}
+	if n, _ := snap.Counter("core.bisect.calls"); n <= 0 {
+		t.Error("core.bisect.calls missing; inner solver not instrumented")
+	}
+	// The timeline carries one span per outer iteration plus the terminal
+	// "done" instant, all on the labeled track.
+	if got, want := col.Trace.Len(), sol.OuterIterations+1; got != want {
+		t.Errorf("trace has %d events, want %d (outer iterations + done)", got, want)
+	}
+	if tracks := col.Trace.Tracks(); len(tracks) != 1 || tracks[0] != "opt/test" {
+		t.Errorf("tracks = %v, want [opt/test]", tracks)
+	}
+}
+
+func TestOptimizeEmptyLabelDefaultsTrack(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	col := obs.NewCollector()
+	if _, err := Optimize(p, Options{OuterTol: 1e-12, Obs: col}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := col.Registry.Snapshot().Counter("core.optimize.solves"); n != 1 {
+		t.Errorf("core.optimize.solves = %d, want 1", n)
+	}
+	if tracks := col.Trace.Tracks(); len(tracks) != 1 || tracks[0] != "optimize" {
+		t.Errorf("tracks = %v, want the default [optimize]", tracks)
+	}
+}
+
+func TestOptimizeNilRecorderUnchanged(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	plain, err := Optimize(p, Options{OuterTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Optimize(p, Options{OuterTol: 1e-12, Obs: obs.NewCollector(), ObsLabel: "opt/x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.N != observed.N || plain.WallClock != observed.WallClock ||
+		plain.OuterIterations != observed.OuterIterations {
+		t.Error("solution changes when a Recorder is attached")
+	}
+}

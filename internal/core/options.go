@@ -21,6 +21,8 @@ package core
 
 import (
 	"errors"
+
+	"mlckpt/internal/obs"
 )
 
 // Errors reported by the solvers.
@@ -69,6 +71,16 @@ type Options struct {
 	// 2-4x without changing the answer. Off by default (the paper's
 	// plain iteration).
 	Accelerate bool
+	// Obs receives solver telemetry: per-outer-iteration spans on a
+	// virtual timeline (cumulative inner iterations), convergence deltas,
+	// and bisection counters. Nil disables instrumentation entirely; the
+	// solvers never read the wall clock, so the recorded values are pure
+	// functions of the problem.
+	Obs obs.Recorder
+	// ObsLabel names the trace track of this solve. It must be derived
+	// from the problem content (a cache key, a scenario label), never
+	// from scheduling; empty defaults to "optimize".
+	ObsLabel string
 	// SinglePass stops after one outer step: μ stays pinned to the
 	// failure-free productive time. This is classic Young's formula [3] —
 	// the SL(ori-scale) baseline — which does not refresh the expected

@@ -22,13 +22,25 @@ type ConvResult struct {
 // Convergence runs Algorithm 1 at the paper's δ=1e-12 on the Table IV
 // scenarios and records the iteration counts.
 func Convergence(specs []string) (ConvResult, error) {
+	return ConvergenceGrid(specs, Grid{})
+}
+
+// ConvergenceGrid is Convergence with the grid's telemetry sink: each
+// scenario's optimizer run traces its outer iterations on track
+// "opt/conv/<spec>". The study itself stays serial — three solves do not
+// need a pool — so only Obs from g is consulted.
+func ConvergenceGrid(specs []string, g Grid) (ConvResult, error) {
 	if len(specs) == 0 {
 		specs = Tab4Cases
 	}
 	res := ConvResult{}
 	for _, spec := range specs {
 		sc := Tab4Scenario(spec, 1.0)
-		sol, err := core.Optimize(sc.Params(), core.Options{OuterTol: 1e-12})
+		sol, err := core.Optimize(sc.Params(), core.Options{
+			OuterTol: 1e-12,
+			Obs:      g.Obs,
+			ObsLabel: "opt/conv/" + spec,
+		})
 		if err != nil {
 			return res, err
 		}

@@ -8,6 +8,7 @@ import (
 	"mlckpt/internal/heat"
 	"mlckpt/internal/jacobi"
 	"mlckpt/internal/mpisim"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/speedup"
 	"mlckpt/internal/sweep"
 )
@@ -55,9 +56,12 @@ func Fig2Grid(maxScale int, g Grid) (Fig2Result, error) {
 	for p := 1; p <= maxScale; p *= 2 {
 		scales = append(scales, p)
 	}
-	heatCurve := func(name string, measure func(heat.Config, mpisim.CostModel, []int) ([]heat.Sample, error)) func() (any, error) {
+	heatCurve := func(name, kind string, measure func(heat.Config, mpisim.CostModel, []int, obs.Recorder, string) ([]heat.Sample, error)) func() (any, error) {
+		// Track derives from the curve's content (decomposition + cap), so
+		// Figure 2 traces are identical for every worker count.
+		track := fmt.Sprintf("mpisim/heat-%s-%d", kind, maxScale)
 		return func() (any, error) {
-			measured, err := measure(cfg, mpisim.DefaultCostModel(), scales)
+			measured, err := measure(cfg, mpisim.DefaultCostModel(), scales, g.Obs, track)
 			if err != nil {
 				return nil, err
 			}
@@ -114,12 +118,15 @@ func Fig2Grid(maxScale int, g Grid) (Fig2Result, error) {
 
 	jobs := []sweep.Job{
 		{Name: "fig2/heat-row", SolveKey: sweep.MustKey("fig2.curve", "row", maxScale),
-			Solve: heatCurve("Heat Distribution, row decomposition (measured on mpisim)", heat.MeasureSpeedup)},
+			Solve: heatCurve("Heat Distribution, row decomposition (measured on mpisim)", "row", heat.MeasureSpeedupObs)},
 		{Name: "fig2/heat-block", SolveKey: sweep.MustKey("fig2.curve", "block", maxScale),
-			Solve: heatCurve("Heat Distribution, 2-D block decomposition (measured on mpisim)", heat.MeasureSpeedupBlocks)},
+			Solve: heatCurve("Heat Distribution, 2-D block decomposition (measured on mpisim)", "block", heat.MeasureSpeedupBlocksObs)},
 		{Name: "fig2/eddy", SolveKey: sweep.MustKey("fig2.curve", "eddy", 0), Solve: eddyCurve},
 	}
-	outs := sweep.Run(jobs, sweep.Options{Workers: g.Workers, Cache: g.Cache, Progress: g.Progress})
+	outs := sweep.Run(jobs, sweep.Options{
+		Workers: g.Workers, Cache: g.Cache, Progress: g.Progress,
+		Obs: g.Obs, Clock: g.Clock,
+	})
 	for _, o := range outs {
 		if o.Err != nil {
 			return res, fmt.Errorf("%s: %w", o.Name, o.Err)

@@ -2,11 +2,26 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"mlckpt/internal/core"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/overhead"
 	"mlckpt/internal/sweep"
 )
+
+// keySuffix shortens a sweep cache key ("scope:hexdigest") to its last 8
+// hex digits — enough to disambiguate trace tracks without drowning the
+// timeline in full digests.
+func keySuffix(key string) string {
+	if i := strings.LastIndexByte(key, ':'); i >= 0 {
+		key = key[i+1:]
+	}
+	if len(key) > 8 {
+		key = key[len(key)-8:]
+	}
+	return key
+}
 
 // Cell is one (scenario, policy) job of an evaluation grid.
 type Cell struct {
@@ -25,6 +40,15 @@ type Grid struct {
 	Cache *sweep.Cache
 	// Progress, when non-nil, receives one call per finished cell.
 	Progress func(done, total int, name string)
+	// Obs receives the sweep engine's counters plus each cell's optimizer
+	// and simulator telemetry. Trace tracks are labeled by cell content
+	// (spec, policy, and the cell's cache-key suffix), so a grid's trace is
+	// byte-identical for every Workers setting. Nil disables telemetry.
+	Obs obs.Recorder
+	// Clock supplies wall-clock seconds for the engine's volatile latency
+	// metrics (pass obs.WallClock from a CLI); nil disables them. It is
+	// injected because this package is lint-gated against direct time.Now.
+	Clock func() float64
 }
 
 // solveProblem is the canonical identity of a cell's Algorithm 1 run: the
@@ -75,11 +99,16 @@ func RunGrid(cells []Cell, g Grid) ([]PolicyOutcome, error) {
 		if err != nil {
 			return nil, fmt.Errorf("grid cell %s/%v: %w", sc.Spec, pol, err)
 		}
+		// Track labels derive from the cell's cache keys, never the job
+		// index: equal keys mean equal labels, so whichever duplicate cell
+		// wins the singleflight race emits the same trace bytes.
+		solveTrack := fmt.Sprintf("opt/%s/%v#%s", sc.Spec, pol, keySuffix(solveKey))
+		simTrack := fmt.Sprintf("sim/%s/%v#%s", sc.Spec, pol, keySuffix(postKey))
 		jobs[i] = sweep.Job{
 			Name:     fmt.Sprintf("%s/%v", sc.Spec, pol),
 			SolveKey: solveKey,
 			Solve: func() (any, error) {
-				sol, x, err := SolvePolicy(sc, pol)
+				sol, x, err := SolvePolicyObs(sc, pol, g.Obs, solveTrack)
 				if err != nil {
 					return nil, err
 				}
@@ -89,7 +118,7 @@ func RunGrid(cells []Cell, g Grid) ([]PolicyOutcome, error) {
 			Seed:    sc.SimSeed(pol),
 			Post: func(solved any, seed uint64) (any, error) {
 				sv := solved.(solvedCell)
-				out, err := SimulatePolicy(sc, pol, sv.Solution, sv.X, seed)
+				out, err := SimulatePolicyObs(sc, pol, sv.Solution, sv.X, seed, g.Obs, simTrack)
 				if err != nil {
 					return nil, err
 				}
@@ -97,7 +126,10 @@ func RunGrid(cells []Cell, g Grid) ([]PolicyOutcome, error) {
 			},
 		}
 	}
-	outs := sweep.Run(jobs, sweep.Options{Workers: g.Workers, Cache: g.Cache, Progress: g.Progress})
+	outs := sweep.Run(jobs, sweep.Options{
+		Workers: g.Workers, Cache: g.Cache, Progress: g.Progress,
+		Obs: g.Obs, Clock: g.Clock,
+	})
 	res := make([]PolicyOutcome, len(outs))
 	for i, o := range outs {
 		if o.Err != nil {

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mlckpt/internal/core"
+	"mlckpt/internal/obs"
+	"mlckpt/internal/sweep"
+)
+
+// obsCells is a small grid exercising both the solver and the simulator:
+// two failure cases x two policies, with few simulation repetitions and a
+// deliberate duplicate cell so the memo cache and singleflight paths run.
+func obsCells() []Cell {
+	var cells []Cell
+	for _, spec := range []string{"16-12-8-4", "8-6-4-2"} {
+		sc := EvalScenario(3e6, spec)
+		sc.Runs = 5
+		for _, pol := range []core.Policy{core.MLOptScale, core.SLOptScale} {
+			cells = append(cells, Cell{Scenario: sc, Policy: pol})
+		}
+	}
+	return append(cells, cells[0]) // duplicate: must hit the cache
+}
+
+// fakeClock is an injected deterministic clock. Test files in this package
+// are lint-gated against reading the wall clock directly, and the engine
+// calls the clock from worker goroutines, so it must be race-free.
+func fakeClock() func() float64 {
+	var n atomic.Int64
+	return func() float64 { return float64(n.Add(1)) * 1e-3 }
+}
+
+// gridTelemetry runs the standard grid with a fresh collector and private
+// cache and returns (stripped metrics bytes, trace bytes, outcomes).
+func gridTelemetry(t *testing.T, workers int) ([]byte, []byte, []PolicyOutcome) {
+	t.Helper()
+	col := obs.NewCollector()
+	outs, err := RunGrid(obsCells(), Grid{
+		Workers: workers,
+		Cache:   sweep.NewCache(),
+		Obs:     col,
+		Clock:   fakeClock(),
+	})
+	if err != nil {
+		t.Fatalf("RunGrid(workers=%d): %v", workers, err)
+	}
+	snap := col.Registry.Snapshot()
+	snap.StripVolatile()
+	metrics, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := json.Marshal(col.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metrics, trace, outs
+}
+
+// TestGridTelemetryDeterminism is the heart of the observability contract:
+// the deterministic metrics section and the whole trace are byte-identical
+// no matter how many workers race over the grid, because every track label
+// and every timestamp derives from cell content and virtual time.
+func TestGridTelemetryDeterminism(t *testing.T) {
+	m1, t1, o1 := gridTelemetry(t, 1)
+	m8, t8, o8 := gridTelemetry(t, 8)
+	if !bytes.Equal(m1, m8) {
+		t.Errorf("stripped metrics differ between workers=1 and workers=8:\n--- w1 ---\n%s\n--- w8 ---\n%s", m1, m8)
+	}
+	if !bytes.Equal(t1, t8) {
+		t.Errorf("trace bytes differ between workers=1 and workers=8 (%d vs %d bytes)", len(t1), len(t8))
+	}
+	if !reflect.DeepEqual(o1, o8) {
+		t.Error("grid outcomes differ between workers=1 and workers=8")
+	}
+}
+
+// TestGridNilRecorderUnchanged: telemetry is strictly read-only — wiring a
+// collector into a grid must not perturb any numeric outcome.
+func TestGridNilRecorderUnchanged(t *testing.T) {
+	plain, err := RunGrid(obsCells(), Grid{Workers: 4, Cache: sweep.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, observed := gridTelemetry(t, 4)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("outcomes with a collector differ from outcomes with a nil Recorder")
+	}
+}
+
+// TestGridTelemetryContent sanity-checks that all four instrumented layers
+// actually reported: the sweep engine, the optimizer, and the simulator.
+func TestGridTelemetryContent(t *testing.T) {
+	col := obs.NewCollector()
+	cells := obsCells()
+	if _, err := RunGrid(cells, Grid{Workers: 2, Obs: col, Clock: fakeClock()}); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Registry.Snapshot()
+	if n, _ := snap.Counter("sweep.jobs"); n != int64(len(cells)) {
+		t.Errorf("sweep.jobs = %d, want %d", n, len(cells))
+	}
+	// The duplicate cell must be answered by the cache, not recomputed:
+	// 4 distinct (solve, post) pairs for 5 cells.
+	if n, _ := snap.Counter("sweep.solve.computed"); n != 4 {
+		t.Errorf("sweep.solve.computed = %d, want 4", n)
+	}
+	if n, _ := snap.Counter("sweep.solve.cache_hits"); n != 1 {
+		t.Errorf("sweep.solve.cache_hits = %d, want 1", n)
+	}
+	if n, _ := snap.Counter("core.optimize.solves"); n != 4 {
+		t.Errorf("core.optimize.solves = %d, want 4 (one per distinct cell)", n)
+	}
+	if n, _ := snap.Counter("sim.runs"); n != 4*5 {
+		t.Errorf("sim.runs = %d, want 20", n)
+	}
+	if col.Trace.Len() == 0 {
+		t.Error("trace is empty; expected optimizer and simulator spans")
+	}
+	for _, track := range col.Trace.Tracks() {
+		if track == "" {
+			t.Error("empty track name in trace")
+		}
+	}
+}

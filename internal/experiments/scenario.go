@@ -15,6 +15,7 @@ import (
 	"mlckpt/internal/core"
 	"mlckpt/internal/failure"
 	"mlckpt/internal/model"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/overhead"
 	"mlckpt/internal/sim"
 	"mlckpt/internal/speedup"
@@ -122,8 +123,16 @@ func (s Scenario) SimSeed(pol core.Policy) uint64 {
 // This is the memoizable stage of a sweep — it depends only on the
 // scenario's model parameters and the policy.
 func SolvePolicy(s Scenario, pol core.Policy) (core.Solution, []float64, error) {
+	return SolvePolicyObs(s, pol, nil, "")
+}
+
+// SolvePolicyObs is SolvePolicy with telemetry: the optimizer records its
+// convergence counters through rec and its per-outer-iteration spans on
+// track (which must derive from the cell's content — see internal/obs).
+// A nil recorder is equivalent to SolvePolicy.
+func SolvePolicyObs(s Scenario, pol core.Policy, rec obs.Recorder, track string) (core.Solution, []float64, error) {
 	p := s.Params()
-	sol, err := pol.Solve(p, core.Options{})
+	sol, err := pol.Solve(p, core.Options{Obs: rec, ObsLabel: track})
 	if err != nil {
 		return core.Solution{}, nil, err
 	}
@@ -133,12 +142,21 @@ func SolvePolicy(s Scenario, pol core.Policy) (core.Solution, []float64, error) 
 // SimulatePolicy runs the stochastic half of a cell with an explicit seed:
 // the solved schedule played through the execution simulator.
 func SimulatePolicy(s Scenario, pol core.Policy, sol core.Solution, x []float64, seed uint64) (PolicyOutcome, error) {
+	return SimulatePolicyObs(s, pol, sol, x, seed, nil, "")
+}
+
+// SimulatePolicyObs is SimulatePolicy with telemetry: run counters record
+// for every repetition, and the batch's first run traces checkpoint and
+// recovery spans on track (empty disables tracing; see sim.Config.ObsTrack).
+func SimulatePolicyObs(s Scenario, pol core.Policy, sol core.Solution, x []float64, seed uint64, rec obs.Recorder, track string) (PolicyOutcome, error) {
 	cfg := sim.Config{
 		Params:       s.Params(),
 		N:            sol.N,
 		X:            x,
 		JitterRatio:  s.Jitter,
 		MaxWallClock: s.MaxDays * failure.SecondsPerDay,
+		Obs:          rec,
+		ObsTrack:     track,
 	}
 	agg, err := sim.Simulate(cfg, s.Runs, seed)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"mlckpt/internal/mpisim"
+	"mlckpt/internal/obs"
 )
 
 // ErrHeat is returned for invalid configurations or corrupt snapshots.
@@ -247,16 +248,31 @@ func (c Config) SerialTime() float64 {
 // MeasureSpeedup runs the problem at each scale and returns (scale,
 // speedup) samples: speedup = serial time / measured parallel wall clock.
 func MeasureSpeedup(cfg Config, cost mpisim.CostModel, scales []int) ([]Sample, error) {
+	return MeasureSpeedupObs(cfg, cost, scales, nil, "")
+}
+
+// MeasureSpeedupObs is MeasureSpeedup with telemetry: each scale's run is
+// observed through rec on track "<track>/p<scale>" (see mpisim.RunObserved).
+// A nil recorder or empty track disables tracing.
+func MeasureSpeedupObs(cfg Config, cost mpisim.CostModel, scales []int, rec obs.Recorder, track string) ([]Sample, error) {
+	return measureSpeedup(cfg, cost, scales, rec, track, func(r *mpisim.Rank) {
+		s, err := NewSolver(r, cfg)
+		if err != nil {
+			panic(err)
+		}
+		s.Run(nil)
+	})
+}
+
+func measureSpeedup(cfg Config, cost mpisim.CostModel, scales []int, rec obs.Recorder, track string, fn func(*mpisim.Rank)) ([]Sample, error) {
 	serial := cfg.SerialTime()
 	out := make([]Sample, 0, len(scales))
 	for _, p := range scales {
-		wall, err := mpisim.Run(p, cost, func(r *mpisim.Rank) {
-			s, err := NewSolver(r, cfg)
-			if err != nil {
-				panic(err)
-			}
-			s.Run(nil)
-		})
+		t := ""
+		if track != "" {
+			t = fmt.Sprintf("%s/p%d", track, p)
+		}
+		wall, err := mpisim.RunObserved(p, cost, fn, rec, t)
 		if err != nil {
 			return nil, err
 		}
@@ -275,20 +291,17 @@ type Sample struct {
 // same problem, same cost model, but four smaller neighbor messages per
 // iteration instead of two larger ones.
 func MeasureSpeedupBlocks(cfg Config, cost mpisim.CostModel, scales []int) ([]Sample, error) {
-	serial := cfg.SerialTime()
-	out := make([]Sample, 0, len(scales))
-	for _, p := range scales {
-		wall, err := mpisim.Run(p, cost, func(r *mpisim.Rank) {
-			s, err := NewBlockSolver(r, cfg)
-			if err != nil {
-				panic(err)
-			}
-			s.Run(nil)
-		})
+	return MeasureSpeedupBlocksObs(cfg, cost, scales, nil, "")
+}
+
+// MeasureSpeedupBlocksObs is MeasureSpeedupBlocks with telemetry, mirroring
+// MeasureSpeedupObs.
+func MeasureSpeedupBlocksObs(cfg Config, cost mpisim.CostModel, scales []int, rec obs.Recorder, track string) ([]Sample, error) {
+	return measureSpeedup(cfg, cost, scales, rec, track, func(r *mpisim.Rank) {
+		s, err := NewBlockSolver(r, cfg)
 		if err != nil {
-			return nil, err
+			panic(err)
 		}
-		out = append(out, Sample{Scale: p, Speedup: serial / wall})
-	}
-	return out, nil
+		s.Run(nil)
+	})
 }

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"mlckpt/internal/obs"
 )
 
 // ErrRuntime is returned when an SPMD program fails (rank panic, bad rank
@@ -77,6 +79,12 @@ type Runtime struct {
 	size int
 	cost CostModel
 
+	// rec/track carry the run's telemetry sink (see RunObserved). Spans
+	// ride the virtual clock, so the exported trace depends only on the
+	// program and cost model, never on goroutine scheduling.
+	rec   obs.Recorder
+	track string
+
 	mu    sync.Mutex
 	mail  map[mailKey]chan message
 	colls map[string]*collOp
@@ -113,12 +121,24 @@ type Rank struct {
 // if they are blocked on the panicking rank — acceptable for a simulator
 // driven by tests and benches).
 func Run(size int, cost CostModel, fn func(*Rank)) (float64, error) {
+	return RunObserved(size, cost, fn, nil, "")
+}
+
+// RunObserved is Run with telemetry: collective operations are counted
+// and — when track is non-empty — emitted as spans on the virtual clock
+// (entry of the earliest rank to exit), plus one enclosing "run" span.
+// Track names must derive from the program's content (kernel name, scale)
+// so traces are byte-identical across hosts and schedules. A nil recorder
+// makes this identical to Run.
+func RunObserved(size int, cost CostModel, fn func(*Rank), rec obs.Recorder, track string) (float64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("%w: size %d", ErrRuntime, size)
 	}
 	rt := &Runtime{
 		size:  size,
 		cost:  cost,
+		rec:   obs.OrNop(rec),
+		track: track,
 		mail:  make(map[mailKey]chan message),
 		colls: make(map[string]*collOp),
 		abort: make(chan struct{}),
@@ -160,6 +180,13 @@ func Run(size int, cost CostModel, fn func(*Rank)) (float64, error) {
 		if r.clock > wall {
 			wall = r.clock
 		}
+	}
+	rt.rec.Count("mpisim.runs", 1)
+	rt.rec.Observe("mpisim.run.virtual_s", wall)
+	if rt.track != "" {
+		rt.rec.Span(rt.track, "run", 0, wall, map[string]float64{
+			"ranks": float64(size),
+		})
 	}
 	return wall, nil
 }
@@ -296,6 +323,17 @@ func (r *Rank) collective(kind string, payload any,
 	if op.arrived == rt.size {
 		op.result, op.exit = compute(op.entries, op.payloads)
 		delete(rt.colls, key) // slot is complete; free it
+		// The span covers first entry to common exit. Emitting under rt.mu
+		// keeps per-track event order equal to collective completion order,
+		// which program order fixes regardless of which goroutine arrives
+		// last (all collectives here are global, hence totally ordered).
+		rt.rec.Count("mpisim.collectives", 1)
+		if rt.track != "" {
+			entry := minOf(op.entries)
+			rt.rec.Span(rt.track, kind, entry, op.exit-entry, map[string]float64{
+				"seq": float64(seq),
+			})
+		}
 		close(op.done)
 	}
 	rt.mu.Unlock()
@@ -421,6 +459,16 @@ func maxOf(xs []float64) float64 {
 	m := xs[0]
 	for _, v := range xs[1:] {
 		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
 			m = v
 		}
 	}

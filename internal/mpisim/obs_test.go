@@ -1,0 +1,75 @@
+package mpisim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mlckpt/internal/obs"
+)
+
+// obsProgram runs a short mix of collectives so the trace has a few spans.
+func obsProgram(r *Rank) {
+	r.Barrier()
+	r.Compute(float64(r.ID()) * 0.5)
+	r.Allreduce(Sum, []float64{float64(r.ID())})
+	r.Barrier()
+}
+
+func runObserved(t *testing.T) (*obs.Collector, float64) {
+	t.Helper()
+	col := obs.NewCollector()
+	wall, err := RunObserved(8, DefaultCostModel(), obsProgram, col, "mpisim/test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, wall
+}
+
+// TestRunObservedDeterministicTrace: collective spans are emitted by the
+// last arriver while it holds the runtime lock, and every collective is
+// global, so the event order is program order — the trace bytes cannot
+// depend on goroutine scheduling.
+func TestRunObservedDeterministicTrace(t *testing.T) {
+	marshal := func() []byte {
+		col, _ := runObserved(t)
+		data, err := json.Marshal(col.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := marshal(), marshal(); !bytes.Equal(a, b) {
+		t.Error("trace bytes differ across identical runs")
+	}
+}
+
+func TestRunObservedTelemetry(t *testing.T) {
+	col, wall := runObserved(t)
+	snap := col.Registry.Snapshot()
+	if n, _ := snap.Counter("mpisim.runs"); n != 1 {
+		t.Errorf("mpisim.runs = %d, want 1", n)
+	}
+	// obsProgram performs 3 collectives: barrier, allreduce, barrier.
+	if n, _ := snap.Counter("mpisim.collectives"); n != 3 {
+		t.Errorf("mpisim.collectives = %d, want 3", n)
+	}
+	// 3 collective spans + the whole-run span.
+	if got := col.Trace.Len(); got != 4 {
+		t.Errorf("trace has %d events, want 4", got)
+	}
+	if wall <= 0 {
+		t.Errorf("virtual wall clock = %g, want > 0", wall)
+	}
+}
+
+func TestRunObservedMatchesRun(t *testing.T) {
+	plain, err := Run(8, DefaultCostModel(), obsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wall := runObserved(t)
+	if plain != wall {
+		t.Errorf("virtual time differs with a Recorder attached: %g vs %g", wall, plain)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+)
+
+// TraceSchema identifies the trace JSON format. The file is a standard
+// Chrome trace-event JSON object (load it in chrome://tracing or
+// https://ui.perfetto.dev) with this extra top-level key, which viewers
+// ignore.
+const TraceSchema = "mlckpt.trace/v1"
+
+const (
+	phaseComplete = "X" // complete event: ts + dur
+	phaseInstant  = "i" // instant event
+	phaseMeta     = "M" // metadata (thread names)
+)
+
+// Trace buffers virtual-time events grouped by track. A track is one
+// timeline — a simulated execution, one Algorithm 1 solve, one mpisim
+// world — and is only ever appended to by a single computation at a time,
+// so per-track order is the deterministic program order. Timestamps are
+// virtual seconds (simulator clocks, solver iteration counts), never the
+// wall clock, which is what makes an exported trace byte-identical across
+// runs and worker counts.
+type Trace struct {
+	mu     sync.Mutex
+	tracks map[string][]traceEvent
+}
+
+type traceEvent struct {
+	name  string
+	phase string
+	ts    float64 // virtual seconds
+	dur   float64 // virtual seconds (complete events)
+	args  map[string]float64
+}
+
+// NewTrace returns an empty trace buffer.
+func NewTrace() *Trace {
+	return &Trace{tracks: map[string][]traceEvent{}}
+}
+
+func (t *Trace) add(track, name, phase string, ts, dur float64, args map[string]float64) {
+	if math.IsNaN(ts) || math.IsInf(ts, 0) || math.IsNaN(dur) || math.IsInf(dur, 0) {
+		return
+	}
+	var copied map[string]float64
+	if len(args) > 0 {
+		copied = make(map[string]float64, len(args))
+		for k, v := range args {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				copied[k] = v
+			}
+		}
+	}
+	t.mu.Lock()
+	t.tracks[track] = append(t.tracks[track], traceEvent{name: name, phase: phase, ts: ts, dur: dur, args: copied})
+	t.mu.Unlock()
+}
+
+// Len reports the number of buffered events across all tracks.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, evs := range t.tracks {
+		n += len(evs)
+	}
+	return n
+}
+
+// Tracks returns the track names, sorted.
+func (t *Trace) Tracks() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.tracks))
+	for name := range t.tracks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// chromeEvent is one trace-event JSON entry. Field order is fixed by the
+// struct; args maps marshal with sorted keys — the whole file is a pure
+// function of the buffered events.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds of virtual time
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	Schema          string        `json:"schema"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// MarshalJSON exports the buffer as Chrome trace-event JSON: tracks are
+// sorted by name and assigned thread ids in that order (with thread_name
+// metadata records), and each track's events appear in append order.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.tracks))
+	for name := range t.tracks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var events []chromeEvent
+	for tid, name := range names {
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   phaseMeta,
+			PID:  0,
+			TID:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for tid, name := range names {
+		for _, ev := range t.tracks[name] {
+			ce := chromeEvent{
+				Name: ev.name,
+				Ph:   ev.phase,
+				TS:   ev.ts * 1e6,
+				PID:  0,
+				TID:  tid,
+			}
+			if ev.phase == phaseComplete {
+				dur := ev.dur * 1e6
+				ce.Dur = &dur
+			}
+			if ev.phase == phaseInstant {
+				ce.S = "t"
+			}
+			if len(ev.args) > 0 {
+				args := make(map[string]any, len(ev.args))
+				for k, v := range ev.args {
+					args[k] = v
+				}
+				ce.Args = args
+			}
+			events = append(events, ce)
+		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	b, err := json.MarshalIndent(chromeTrace{
+		Schema:          TraceSchema,
+		DisplayTimeUnit: "ms",
+		TraceEvents:     events,
+	}, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInvalid is returned when a serialized snapshot or trace does not
+// conform to the exporter schema.
+var ErrInvalid = errors.New("obs: invalid document")
+
+// ValidateMetricsJSON checks that data is a well-formed metrics snapshot:
+// the exporter schema, known metric types, name-sorted sections, and
+// internally consistent histograms. On success it returns the parsed
+// snapshot. CI runs it over the artifacts a real experiment produced.
+func ValidateMetricsJSON(data []byte) (Snapshot, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if s.Schema != MetricsSchema {
+		return Snapshot{}, fmt.Errorf("%w: schema %q, want %q", ErrInvalid, s.Schema, MetricsSchema)
+	}
+	if s.Metrics == nil || s.Volatile == nil {
+		return Snapshot{}, fmt.Errorf("%w: missing metrics/volatile section", ErrInvalid)
+	}
+	for _, sec := range [][]Metric{s.Metrics, s.Volatile} {
+		if !sort.SliceIsSorted(sec, func(i, j int) bool { return sec[i].Name < sec[j].Name }) {
+			return Snapshot{}, fmt.Errorf("%w: metrics not sorted by name", ErrInvalid)
+		}
+		for _, m := range sec {
+			if err := validateMetric(m); err != nil {
+				return Snapshot{}, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func validateMetric(m Metric) error {
+	if m.Name == "" {
+		return fmt.Errorf("%w: metric with empty name", ErrInvalid)
+	}
+	switch m.Type {
+	case "counter", "gauge":
+	case "histogram":
+		total := m.Overflow
+		for _, b := range m.Buckets {
+			if b.N < 0 {
+				return fmt.Errorf("%w: %s: negative bucket count", ErrInvalid, m.Name)
+			}
+			total += b.N
+		}
+		if total != m.Count {
+			return fmt.Errorf("%w: %s: bucket counts sum to %d, count is %d", ErrInvalid, m.Name, total, m.Count)
+		}
+		if m.Count > 0 && m.Min > m.Max {
+			return fmt.Errorf("%w: %s: min %g > max %g", ErrInvalid, m.Name, m.Min, m.Max)
+		}
+	default:
+		return fmt.Errorf("%w: %s: unknown metric type %q", ErrInvalid, m.Name, m.Type)
+	}
+	return nil
+}
+
+// ValidateTraceJSON checks that data is a well-formed virtual-time trace:
+// the exporter schema, known event phases, finite non-negative
+// timestamps, and thread_name metadata covering every referenced tid. On
+// success it returns the number of non-metadata events.
+func ValidateTraceJSON(data []byte) (int, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t chromeTrace
+	if err := dec.Decode(&t); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if t.Schema != TraceSchema {
+		return 0, fmt.Errorf("%w: schema %q, want %q", ErrInvalid, t.Schema, TraceSchema)
+	}
+	if t.TraceEvents == nil {
+		return 0, fmt.Errorf("%w: missing traceEvents", ErrInvalid)
+	}
+	named := map[int]bool{}
+	events := 0
+	for _, ev := range t.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("%w: event with empty name", ErrInvalid)
+		}
+		switch ev.Ph {
+		case phaseMeta:
+			named[ev.TID] = true
+			continue
+		case phaseComplete, phaseInstant:
+		default:
+			return 0, fmt.Errorf("%w: event %q: unknown phase %q", ErrInvalid, ev.Name, ev.Ph)
+		}
+		if math.IsNaN(ev.TS) || math.IsInf(ev.TS, 0) || ev.TS < 0 {
+			return 0, fmt.Errorf("%w: event %q: bad timestamp %g", ErrInvalid, ev.Name, ev.TS)
+		}
+		if ev.Dur != nil && (math.IsNaN(*ev.Dur) || math.IsInf(*ev.Dur, 0) || *ev.Dur < 0) {
+			return 0, fmt.Errorf("%w: event %q: bad duration %g", ErrInvalid, ev.Name, *ev.Dur)
+		}
+		if !named[ev.TID] {
+			return 0, fmt.Errorf("%w: event %q: tid %d has no thread_name metadata", ErrInvalid, ev.Name, ev.TID)
+		}
+		events++
+	}
+	return events, nil
+}

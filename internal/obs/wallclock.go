@@ -1,0 +1,15 @@
+package obs
+
+import "time"
+
+// WallClock returns the current wall-clock time as seconds since the Unix
+// epoch. It is the repository's one sanctioned wall-clock entry point for
+// observability: the lint-gated model packages (internal/sim,
+// internal/sweep, ...) must never call time.Now themselves — they accept
+// an injected `func() float64` clock instead, and the CLIs pass this one.
+// Everything measured through an injected clock is recorded via the
+// *Volatile Recorder methods, so the deterministic snapshot section and
+// the virtual-time trace stay byte-identical across runs.
+func WallClock() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

@@ -45,6 +45,13 @@ func RunMany(cfg Config, runs int, seed uint64) ([]Result, error) {
 	if workers > runs {
 		workers = runs
 	}
+	// Only the batch's first run keeps its trace track: a 100-run batch
+	// emitting spans for every run would swamp the timeline without adding
+	// information (run 0 is representative, and its seed is fixed), while
+	// counters — integer sums, order-independent — record for all runs.
+	quiet := cfg
+	quiet.ObsTrack = ""
+
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -52,7 +59,11 @@ func RunMany(cfg Config, runs int, seed uint64) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = Run(cfg, rngs[i])
+				c := quiet
+				if i == 0 {
+					c = cfg
+				}
+				results[i], errs[i] = Run(c, rngs[i])
 			}
 		}()
 	}

@@ -35,6 +35,7 @@ import (
 
 	"mlckpt/internal/failure"
 	"mlckpt/internal/model"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/stats"
 )
 
@@ -81,6 +82,24 @@ type Config struct {
 	// Rates in Params are ignored for arrival times; events with a level
 	// beyond the configured hierarchy are clamped to the top class.
 	Replay []failure.Event
+
+	// Obs receives run counters (failures, checkpoints, truncations,
+	// wall-clock histograms — all deterministic functions of the seeded
+	// run) and, when ObsTrack is also set, checkpoint/recovery/failure
+	// spans on the run's virtual clock. Nil disables instrumentation.
+	Obs obs.Recorder `json:"-"`
+	// ObsTrack names the trace track of this run. It must derive from
+	// the run's content (scenario, policy, cache key) so traces are
+	// identical for every worker count; empty suppresses spans while
+	// keeping counters.
+	ObsTrack string `json:"-"`
+	// ObsMaxEvents bounds the trace events one run may emit: an optimized
+	// exascale run takes tens of thousands of checkpoints, which would
+	// swamp any timeline viewer. After the budget a single
+	// "trace-truncated" instant marks the cut. The cut is count-based, so
+	// it is as deterministic as the events themselves. 0 means 1000;
+	// negative means unlimited.
+	ObsMaxEvents int `json:"-"`
 }
 
 // Validate checks the configuration.
@@ -234,6 +253,45 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 		}
 	}
 
+	// Telemetry: spans live on the run's virtual clock (wall), so the
+	// exported trace is a pure function of (cfg, rng seed) — identical
+	// bytes for any worker count. Tracing is gated on ObsTrack because a
+	// 100-run batch only traces its first run (see RunMany), and bounded
+	// by ObsMaxEvents so checkpoint-heavy runs cannot flood the timeline.
+	rec := obs.OrNop(cfg.Obs)
+	budget := 0
+	if cfg.ObsTrack != "" {
+		budget = cfg.ObsMaxEvents
+		if budget == 0 {
+			budget = 1000
+		}
+	}
+	truncatedTrace := false
+	tracing := func() bool {
+		if cfg.ObsTrack == "" {
+			return false
+		}
+		if budget != 0 {
+			if budget > 0 {
+				budget--
+			}
+			return true
+		}
+		if !truncatedTrace {
+			truncatedTrace = true
+			rec.Count("sim.trace_truncated", 1)
+			rec.Instant(cfg.ObsTrack, "trace-truncated", wall, nil)
+		}
+		return false
+	}
+	failureInstant := func(class int) {
+		if tracing() {
+			rec.Instant(cfg.ObsTrack, "failure", wall, map[string]float64{
+				"class": float64(class + 1), "progress": progress,
+			})
+		}
+	}
+
 	// strike applies the storage damage and rollback of a class-c failure:
 	// checkpoints below level c are destroyed (their storage died with the
 	// failure), and execution restores to the furthest checkpoint of level
@@ -277,6 +335,7 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 	handleFailure := func(c int) {
 		res.Failures[c]++
 		record(EvFailure, c)
+		failureInstant(c)
 		restoreLvl := strike(c)
 		// Correlated-window merge (paper footnote 1): failures of class
 		// ≤ c arriving within the window belong to this event.
@@ -289,6 +348,11 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 				consumeFailure()
 				res.Absorbed++
 				record(EvAbsorbedFailure, ev.Level)
+				if tracing() {
+					rec.Instant(cfg.ObsTrack, "failure-absorbed", ev.Time, map[string]float64{
+						"class": float64(ev.Level + 1),
+					})
+				}
 			}
 		}
 		// Allocation + recovery, restarting on failures inside the window.
@@ -298,6 +362,11 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 				dur += rng.Jitter(p.Levels[restoreLvl].Recovery.At(n), cfg.JitterRatio)
 			}
 			if cfg.DisableFailuresDuringRecovery {
+				if tracing() {
+					rec.Span(cfg.ObsTrack, "recovery", wall, dur, map[string]float64{
+						"restore_level": float64(restoreLvl + 1),
+					})
+				}
 				wall += dur
 				res.Restart += dur
 				record(EvRecoveryDone, restoreLvl)
@@ -305,6 +374,11 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 			}
 			ev, ok := nextFailure(wall)
 			if !ok || ev.Time >= wall+dur {
+				if tracing() {
+					rec.Span(cfg.ObsTrack, "recovery", wall, dur, map[string]float64{
+						"restore_level": float64(restoreLvl + 1),
+					})
+				}
 				wall += dur
 				res.Restart += dur
 				record(EvRecoveryDone, restoreLvl)
@@ -318,6 +392,7 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 			wall = ev.Time
 			res.Failures[ev.Level]++
 			record(EvFailure, ev.Level)
+			failureInstant(ev.Level)
 			if ev.Level > c {
 				c = ev.Level
 			}
@@ -388,10 +463,24 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 			} else {
 				res.Checkpoint += wasted
 			}
+			if tracing() {
+				rec.Span(cfg.ObsTrack, "checkpoint-abort", wall, wasted, map[string]float64{
+					"level": float64(dueLevel + 1), "progress": progress,
+				})
+			}
 			wall = ev.Time
 			record(EvCheckpointAbort, dueLevel)
 			handleFailure(ev.Level)
 			continue
+		}
+		if tracing() {
+			redoArg := 0.0
+			if redo {
+				redoArg = 1
+			}
+			rec.Span(cfg.ObsTrack, "checkpoint", wall, dur, map[string]float64{
+				"level": float64(dueLevel + 1), "progress": progress, "redo": redoArg,
+			})
 		}
 		wall += dur
 		if redo {
@@ -418,6 +507,20 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 
 	res.WallClock = wall
 	record(EvCompletion, -1)
+	if tracing() {
+		rec.Instant(cfg.ObsTrack, "complete", wall, map[string]float64{"progress": progress})
+	}
+	rec.Count("sim.runs", 1)
+	rec.Count("sim.failures", int64(res.TotalFailures()))
+	ckpts := 0
+	for _, v := range res.CheckpointsTaken {
+		ckpts += v
+	}
+	rec.Count("sim.checkpoints", int64(ckpts))
+	if res.Truncated {
+		rec.Count("sim.truncated", 1)
+	}
+	rec.Observe("sim.wallclock_days", wall/failure.SecondsPerDay)
 	return res, nil
 }
 

@@ -18,8 +18,9 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -40,6 +41,16 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, error, bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			// Completed entry: a plain hit.
+		default:
+			// Still computing on another goroutine: this caller coalesces
+			// onto the in-flight computation. (Scheduling-dependent by
+			// nature — reported as volatile telemetry, never compared
+			// across runs.)
+			c.coalesced.Add(1)
+		}
 		<-e.ready
 		c.hits.Add(1)
 		return e.val, e.err, true
@@ -74,4 +85,13 @@ func (c *Cache) Len() int {
 // and how many ran their computation (misses).
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Coalesced reports how many of the hits blocked on an in-flight
+// computation of the same key (singleflight coalescing) rather than
+// reading a completed entry. Unlike Stats, this depends on scheduling:
+// serial sweeps coalesce nothing, parallel sweeps coalesce whenever
+// duplicate cells are simultaneously in flight.
+func (c *Cache) Coalesced() uint64 {
+	return c.coalesced.Load()
 }

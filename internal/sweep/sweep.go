@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"mlckpt/internal/obs"
 	"mlckpt/internal/stats"
 )
 
@@ -98,6 +100,17 @@ type Options struct {
 	// completion count, the total, and the job's name. Calls arrive from
 	// worker goroutines but are serialized by the engine.
 	Progress func(done, total int, name string)
+	// Obs receives engine telemetry: job and cache-outcome counters in
+	// the deterministic section, and — when Clock is also set — per-job
+	// latencies and the peak in-flight depth in the volatile section.
+	// Nil disables instrumentation.
+	Obs obs.Recorder
+	// Clock supplies wall-clock seconds for latency measurements (the
+	// CLIs inject obs.WallClock). It is a parameter rather than a direct
+	// time.Now call because this package is lint-gated: nothing here may
+	// read the wall clock itself (see docs/OBSERVABILITY.md). Nil
+	// disables latency metrics; everything else still records.
+	Clock func() float64
 }
 
 // Run executes the jobs on a bounded worker pool and returns their
@@ -133,6 +146,8 @@ func Run(jobs []Job, opts Options) []Outcome {
 		progressMu.Unlock()
 	}
 
+	rec := obs.OrNop(opts.Obs)
+	var inflight atomic.Int64
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -140,7 +155,17 @@ func Run(jobs []Job, opts Options) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				rec.MaxVolatile("sweep.jobs.inflight_max", float64(inflight.Add(1)))
+				start := 0.0
+				if opts.Clock != nil {
+					start = opts.Clock()
+				}
 				outcomes[i] = runJob(i, jobs[i], cache, opts.RootSeed)
+				if opts.Clock != nil {
+					rec.ObserveVolatile("sweep.job.latency_s", opts.Clock()-start)
+				}
+				inflight.Add(-1)
+				recordJobObs(rec, jobs[i], outcomes[i])
 				report(jobs[i].Name)
 			}
 		}()
@@ -151,6 +176,32 @@ func Run(jobs []Job, opts Options) []Outcome {
 	close(next)
 	wg.Wait()
 	return outcomes
+}
+
+// recordJobObs records one finished job's deterministic telemetry. Every
+// count is a pure function of the job set: which job of a duplicate pair
+// computes and which coalesces varies with scheduling, but the *number*
+// of cached answers per stage does not.
+func recordJobObs(rec obs.Recorder, j Job, o Outcome) {
+	rec.Count("sweep.jobs", 1)
+	if o.Err != nil {
+		rec.Count("sweep.jobs.errors", 1)
+		return
+	}
+	if j.SolveKey != "" {
+		if o.SolveCached {
+			rec.Count("sweep.solve.cache_hits", 1)
+		} else {
+			rec.Count("sweep.solve.computed", 1)
+		}
+	}
+	if j.Post != nil && j.PostKey != "" {
+		if o.PostCached {
+			rec.Count("sweep.post.cache_hits", 1)
+		} else {
+			rec.Count("sweep.post.computed", 1)
+		}
+	}
 }
 
 func runJob(i int, j Job, cache *Cache, root uint64) Outcome {

@@ -36,6 +36,7 @@ import (
 	"mlckpt/internal/core"
 	"mlckpt/internal/failure"
 	"mlckpt/internal/model"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/overhead"
 	"mlckpt/internal/sim"
 	"mlckpt/internal/speedup"
@@ -228,6 +229,13 @@ type Plan struct {
 
 // Optimize solves the spec under the given policy.
 func Optimize(s Spec, pol Policy) (Plan, error) {
+	return optimizeObs(s, pol, nil, "")
+}
+
+// optimizeObs is Optimize with a telemetry sink: the solver records its
+// convergence counters through rec and its outer iterations as spans on
+// track (content-derived; see internal/obs). Reached via Sweep's options.
+func optimizeObs(s Spec, pol Policy, rec obs.Recorder, track string) (Plan, error) {
 	p, err := s.Params()
 	if err != nil {
 		return Plan{}, err
@@ -236,7 +244,7 @@ func Optimize(s Spec, pol Policy) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	sol, err := ip.Solve(p, core.Options{})
+	sol, err := ip.Solve(p, core.Options{Obs: rec, ObsLabel: track})
 	if err != nil {
 		return Plan{}, err
 	}
@@ -327,6 +335,13 @@ func OptimizeWithSelection(s Spec) (SelectionPlan, error) {
 
 // Simulate plays the plan through the stochastic execution simulator.
 func Simulate(s Spec, plan Plan, opts SimOptions) (Report, error) {
+	return simulateObs(s, plan, opts, nil, "")
+}
+
+// simulateObs is Simulate with a telemetry sink: run counters record for
+// every repetition and the batch's first run traces checkpoint/recovery
+// spans on track (empty disables tracing). Reached via Sweep's options.
+func simulateObs(s Spec, plan Plan, opts SimOptions, rec obs.Recorder, track string) (Report, error) {
 	p, err := s.Params()
 	if err != nil {
 		return Report{}, err
@@ -352,6 +367,8 @@ func Simulate(s Spec, plan Plan, opts SimOptions) (Report, error) {
 		X:            plan.X,
 		JitterRatio:  opts.Jitter,
 		MaxWallClock: opts.MaxDays * failure.SecondsPerDay,
+		Obs:          rec,
+		ObsTrack:     track,
 	}
 	if opts.WeibullShape > 0 {
 		cfg.Dist = failure.Weibull

@@ -2,10 +2,28 @@ package mlckpt
 
 import (
 	"fmt"
+	"strings"
 
+	"mlckpt/internal/obs"
 	"mlckpt/internal/stats"
 	"mlckpt/internal/sweep"
 )
+
+// trackTag shortens a cache key ("scope:hexdigest") to its last 8 hex
+// digits for trace-track labels, falling back to the job name when the
+// spec could not be keyed.
+func trackTag(key, name string) string {
+	if key == "" {
+		return name
+	}
+	if i := strings.LastIndexByte(key, ':'); i >= 0 {
+		key = key[i+1:]
+	}
+	if len(key) > 8 {
+		key = key[len(key)-8:]
+	}
+	return key
+}
 
 // SweepJob is one cell of a parameter sweep: a problem, a policy, and an
 // optional simulation of the optimized plan.
@@ -49,6 +67,15 @@ type SweepOptions struct {
 	RootSeed uint64 `json:"rootSeed,omitempty"`
 	// Progress, when non-nil, is called after each finished job.
 	Progress func(done, total int, name string) `json:"-"`
+	// Obs receives the sweep's telemetry: engine and solver counters plus
+	// per-job trace tracks labeled by job content, deterministic for every
+	// Workers setting. In-module callers (the CLIs) pass an obs.Collector;
+	// external importers cannot construct a Recorder and leave it nil,
+	// which disables telemetry entirely.
+	Obs obs.Recorder `json:"-"`
+	// Clock supplies wall-clock seconds for volatile latency metrics (the
+	// CLIs pass obs.WallClock); nil disables them.
+	Clock func() float64 `json:"-"`
 }
 
 // Sweep evaluates a grid of optimization (and optionally simulation) jobs
@@ -104,11 +131,17 @@ func Sweep(jobs []SweepJob, opts SweepOptions) []SweepOutcome {
 			solveKey, postKey = "", ""
 		}
 
+		// Trace tracks derive from the job's cache keys (equal problems →
+		// equal labels, whichever duplicate computes), falling back to the
+		// job name for non-marshalable specs — still a pure function of the
+		// job list, never of scheduling.
+		solveTrack := "opt/" + trackTag(solveKey, name)
+		simTrack := "sim/" + trackTag(postKey, name)
 		ej := sweep.Job{
 			Name:     name,
 			SolveKey: solveKey,
 			Solve: func() (any, error) {
-				plan, err := Optimize(job.Spec, job.Policy)
+				plan, err := optimizeObs(job.Spec, job.Policy, opts.Obs, solveTrack)
 				if err != nil {
 					return nil, err
 				}
@@ -122,7 +155,7 @@ func Sweep(jobs []SweepJob, opts SweepOptions) []SweepOutcome {
 			ej.Seed = seed
 			ej.Post = func(solved any, seed uint64) (any, error) {
 				simOpts.Seed = seed
-				report, err := Simulate(job.Spec, solved.(Plan), simOpts)
+				report, err := simulateObs(job.Spec, solved.(Plan), simOpts, opts.Obs, simTrack)
 				if err != nil {
 					return nil, err
 				}
@@ -136,6 +169,8 @@ func Sweep(jobs []SweepJob, opts SweepOptions) []SweepOutcome {
 		Workers:  opts.Workers,
 		RootSeed: root,
 		Progress: opts.Progress,
+		Obs:      opts.Obs,
+		Clock:    opts.Clock,
 	})
 	for i, o := range outs {
 		if o.Err != nil {
