@@ -5,16 +5,29 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchsnap > BENCH.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchsnap -compare BENCH.json -threshold 50
 //
 // Benchmarks are sorted by name in the output; lines that are not
 // benchmark results (package headers, PASS/ok, skips) are ignored. Exit
 // status 1 means no benchmark lines were found — an upstream failure
 // (compile error, -run filter eating everything) rather than a slow day.
+//
+// With -compare, benchsnap instead diffs the run on stdin against a
+// committed baseline snapshot: benchmarks are matched by name (ignoring
+// the -N GOMAXPROCS suffix, so snapshots from different machines
+// compare), ns/op and allocs/op deltas are printed for every common
+// benchmark, and the exit status is 1 when any benchmark regressed by
+// more than -threshold percent. Benchmarks present on only one side are
+// reported but never fail the comparison — new benchmarks appear and old
+// ones retire without invalidating the baseline. Wall-clock thresholds
+// should be generous (CI machines are noisy); allocs/op is deterministic
+// and uses the same bound only to absorb intentional small drifts.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -110,15 +123,129 @@ func parseBench(in io.Reader) ([]benchResult, error) {
 	return results, nil
 }
 
+// normalizeName strips the trailing -N GOMAXPROCS suffix go test appends
+// on multi-core hosts, so snapshots taken on different machines compare.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// delta is one benchmark's comparison against the baseline.
+type delta struct {
+	name       string
+	oldNs      float64
+	newNs      float64
+	nsPct      float64 // signed percent change in ns/op
+	allocsPct  float64 // signed percent change in allocs/op (0 when absent)
+	hasAllocs  bool
+	regression bool
+}
+
+// compareRuns diffs current results against a baseline. A benchmark
+// regresses when ns/op or allocs/op grew by more than thresholdPct. The
+// returned slices are the matched deltas plus the names present on only
+// one side, all sorted by name.
+func compareRuns(baseline, current []benchResult, thresholdPct float64) (deltas []delta, onlyOld, onlyNew []string) {
+	old := make(map[string]benchResult, len(baseline))
+	for _, r := range baseline {
+		old[normalizeName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, r := range current {
+		name := normalizeName(r.Name)
+		seen[name] = true
+		b, ok := old[name]
+		if !ok {
+			onlyNew = append(onlyNew, name)
+			continue
+		}
+		d := delta{name: name, oldNs: b.NsPerOp, newNs: r.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.nsPct = 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		if b.AllocsPerOp != nil && r.AllocsPerOp != nil && *b.AllocsPerOp > 0 {
+			d.hasAllocs = true
+			d.allocsPct = 100 * float64(*r.AllocsPerOp-*b.AllocsPerOp) / float64(*b.AllocsPerOp)
+		}
+		d.regression = d.nsPct > thresholdPct || (d.hasAllocs && d.allocsPct > thresholdPct)
+		deltas = append(deltas, d)
+	}
+	for _, r := range baseline {
+		if name := normalizeName(r.Name); !seen[name] {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].name < deltas[j].name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// runCompare executes -compare mode and returns the number of regressions.
+func runCompare(w io.Writer, baselinePath string, current []benchResult, thresholdPct float64) (int, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	if base.Schema != schema {
+		return 0, fmt.Errorf("%s: unexpected schema %q (want %q)", baselinePath, base.Schema, schema)
+	}
+	deltas, onlyOld, onlyNew := compareRuns(base.Benchmarks, current, thresholdPct)
+	regressions := 0
+	for _, d := range deltas {
+		mark := "  "
+		if d.regression {
+			mark = "!!"
+			regressions++
+		}
+		line := fmt.Sprintf("%s %-50s %14.0f -> %14.0f ns/op  %+7.1f%%", mark, d.name, d.oldNs, d.newNs, d.nsPct)
+		if d.hasAllocs {
+			line += fmt.Sprintf("  allocs %+7.1f%%", d.allocsPct)
+		}
+		fmt.Fprintln(w, line)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "   %-50s only in baseline\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "   %-50s only in current run\n", name)
+	}
+	fmt.Fprintf(w, "%d benchmarks compared, %d regressed (threshold %+.0f%%)\n", len(deltas), regressions, thresholdPct)
+	return regressions, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsnap: ")
+	compareWith := flag.String("compare", "", "baseline snapshot to diff against instead of emitting JSON")
+	thresholdPct := flag.Float64("threshold", 20, "allowed regression percent in -compare mode")
+	flag.Parse()
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines on stdin (did the bench run fail?)")
+	}
+	if *compareWith != "" {
+		regressions, err := runCompare(os.Stdout, *compareWith, results, *thresholdPct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	doc := snapshot{
 		Schema:     schema,

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -45,6 +47,107 @@ func TestParseBench(t *testing.T) {
 	}
 	if fig2.AllocsPerOp == nil || *fig2.AllocsPerOp != 12 {
 		t.Errorf("Fig2 allocs/op = %v", fig2.AllocsPerOp)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFig2-8":            "BenchmarkFig2",
+		"BenchmarkFig2":              "BenchmarkFig2",
+		"BenchmarkEncode/8+2-16":     "BenchmarkEncode/8+2",
+		"BenchmarkAblationDamping/0": "BenchmarkAblationDamping/0",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func i64(v int64) *int64 { return &v }
+
+func TestCompareRuns(t *testing.T) {
+	baseline := []benchResult{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: i64(100)},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 5},
+	}
+	current := []benchResult{
+		{Name: "BenchmarkA", NsPerOp: 1100, AllocsPerOp: i64(100)}, // +10%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 1500},                        // +50%: regression
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}
+	deltas, onlyOld, onlyNew := compareRuns(baseline, current, 20)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	if deltas[0].name != "BenchmarkA" || deltas[0].regression {
+		t.Errorf("BenchmarkA should pass at +10%%: %+v", deltas[0])
+	}
+	if !deltas[0].hasAllocs || deltas[0].allocsPct != 0 {
+		t.Errorf("BenchmarkA allocs delta = %+v", deltas[0])
+	}
+	if deltas[1].name != "BenchmarkB" || !deltas[1].regression {
+		t.Errorf("BenchmarkB should regress at +50%%: %+v", deltas[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareRunsAllocRegression(t *testing.T) {
+	baseline := []benchResult{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: i64(100)}}
+	current := []benchResult{{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: i64(200)}}
+	deltas, _, _ := compareRuns(baseline, current, 20)
+	if len(deltas) != 1 || !deltas[0].regression {
+		t.Fatalf("doubling allocs/op must regress even when ns/op improved: %+v", deltas)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	base := snapshot{
+		Schema: schema,
+		Benchmarks: []benchResult{
+			{Name: "BenchmarkA", NsPerOp: 1000},
+			{Name: "BenchmarkB", NsPerOp: 1000},
+		},
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := []benchResult{
+		{Name: "BenchmarkA", NsPerOp: 1050},
+		{Name: "BenchmarkB", NsPerOp: 9000},
+	}
+	var buf strings.Builder
+	regressions, err := runCompare(&buf, path, current, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want 1; output:\n%s", regressions, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "!! BenchmarkB") {
+		t.Errorf("regressed benchmark not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "2 benchmarks compared, 1 regressed") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(&buf, path, current, 50); err == nil {
+		t.Error("foreign schema must be rejected")
 	}
 }
 

@@ -35,12 +35,26 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"mlckpt/internal/cli"
 	"mlckpt/internal/experiments"
 	"mlckpt/internal/obs"
 	"mlckpt/internal/sweep"
 )
+
+// figStat is one experiment's host-side cost: wall-clock time and heap
+// allocation count around its runExperiment call. Both are volatile
+// (machine- and scheduling-dependent), so they go to stderr and to
+// volatile counters — never into the deterministic stdout the golden
+// regression pins.
+type figStat struct {
+	id     string
+	wall   time.Duration
+	allocs uint64
+	failed bool
+}
 
 func main() {
 	log.SetFlags(0)
@@ -97,8 +111,19 @@ func main() {
 	}
 
 	var failures []string
+	stats := make([]figStat, 0, len(ids))
+	var ms runtime.MemStats
 	for _, id := range ids {
+		runtime.ReadMemStats(&ms)
+		allocs0 := ms.Mallocs
+		start := time.Now()
 		out, err := runExperiment(id, simRuns, *quick, grid)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		st := figStat{id: id, wall: wall, allocs: ms.Mallocs - allocs0, failed: err != nil}
+		stats = append(stats, st)
+		collector.CountVolatile("experiments."+id+".wall_ms", wall.Milliseconds())
+		collector.CountVolatile("experiments."+id+".allocs", int64(st.allocs))
 		if err != nil {
 			failures = append(failures, id)
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
@@ -116,7 +141,7 @@ func main() {
 	collector.CountVolatile("sweep.cache.coalesced", int64(cache.Coalesced()))
 
 	if !*noProgress {
-		printSummary(collector, len(ids)-len(failures), len(failures))
+		printSummary(collector, stats, len(ids)-len(failures), len(failures))
 	}
 	if len(failures) == 0 {
 		if *metricsOut != "" {
@@ -238,8 +263,18 @@ func runExperiment(id string, simRuns int, quick bool, grid func(string) experim
 }
 
 // printSummary replaces the old ad-hoc cache-stats line with a digest of
-// the registry snapshot.
-func printSummary(c *obs.Collector, succeeded, failed int) {
+// the registry snapshot plus a per-experiment cost table (wall-clock and
+// heap allocations, both host-side and volatile — they describe this run
+// of this machine, not the reproduced results).
+func printSummary(c *obs.Collector, stats []figStat, succeeded, failed int) {
+	for _, st := range stats {
+		status := ""
+		if st.failed {
+			status = "  (failed)"
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %-7s %8.2fs  %12d allocs%s\n",
+			st.id, st.wall.Seconds(), st.allocs, status)
+	}
 	snap := c.Registry.Snapshot()
 	count := func(name string) int64 {
 		v, _ := snap.Counter(name)

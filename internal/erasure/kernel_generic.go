@@ -1,0 +1,32 @@
+//go:build !amd64
+
+package erasure
+
+// Non-amd64 builds run the portable word-lane kernels only; the stubs
+// below are never reached (hasAVX2 is constant false, so the dispatch
+// in kernel.go compiles them away).
+
+const (
+	hasAVX2 = false
+	hasGFNI = false
+)
+
+func gfMulXorAVX2(tab *mulTable, src, dst *byte, n int) {
+	panic("erasure: AVX2 kernel called on non-amd64 build")
+}
+
+func gfMul4SetGFNI(tabs *mulTable, src0, src1, src2, src3, dst *byte, n int) {
+	panic("erasure: GFNI kernel called on non-amd64 build")
+}
+
+func gfMul4XorGFNI(tabs *mulTable, src0, src1, src2, src3, dst *byte, n int) {
+	panic("erasure: GFNI kernel called on non-amd64 build")
+}
+
+func gfMulSetAVX2(tab *mulTable, src, dst *byte, n int) {
+	panic("erasure: AVX2 kernel called on non-amd64 build")
+}
+
+func gfXorAVX2(src, dst *byte, n int) {
+	panic("erasure: AVX2 kernel called on non-amd64 build")
+}

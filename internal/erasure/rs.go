@@ -16,8 +16,10 @@ var (
 // Code is a Reed–Solomon erasure code with K data shards and M parity
 // shards over GF(2⁸).
 type Code struct {
-	K, M   int
-	matrix [][]byte // M×K Cauchy encoding matrix
+	K, M    int
+	matrix  [][]byte     // M×K Cauchy encoding matrix
+	tables  [][]mulTable // split-nibble tables per matrix cell, built once
+	workers int          // striping fan-out; 0 = GOMAXPROCS at encode time
 }
 
 // New creates a code with k data and m parity shards. k+m must not exceed
@@ -31,39 +33,133 @@ func New(k, m int) (*Code, error) {
 	// entry 1/(x_i ⊕ y_j). All points distinct, so every square submatrix
 	// of the stacked [I; C] generator is invertible.
 	c.matrix = make([][]byte, m)
+	c.tables = make([][]mulTable, m)
 	for i := 0; i < m; i++ {
 		row := make([]byte, k)
 		for j := 0; j < k; j++ {
 			row[j] = Inv(byte(k+i) ^ byte(j))
 		}
 		c.matrix[i] = row
+		c.tables[i] = makeMulTables(row)
 	}
 	return c, nil
 }
 
+// SetWorkers bounds the worker pool of the striped encode/reconstruct
+// kernels: n ≤ 0 restores the default (GOMAXPROCS at call time), n == 1
+// forces single-goroutine operation. Outputs are byte-identical for every
+// setting; only throughput changes. Not safe to call concurrently with
+// Encode/Reconstruct on the same Code.
+func (c *Code) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
+
+// shardSize validates that every non-nil shard has one common length and
+// returns it (-1 when all shards are nil).
+func shardSize(shards [][]byte) (int, error) {
+	size := -1
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	return size, nil
+}
+
 // Encode computes the m parity shards for the given k data shards. All data
 // shards must be the same length. The returned parity shards have that
-// length too.
+// length too (sharing one backing allocation; use EncodeInto to reuse
+// caller-owned buffers instead).
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 	if len(data) != c.K {
 		return nil, fmt.Errorf("%w: %d data shards, want %d", ErrShape, len(data), c.K)
 	}
-	size := -1
-	for _, d := range data {
-		if size == -1 {
-			size = len(d)
-		} else if len(d) != size {
-			return nil, ErrShardSize
-		}
+	size, err := shardSize(data)
+	if err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		size = 0
 	}
 	parity := make([][]byte, c.M)
+	backing := make([]byte, c.M*size)
 	for i := range parity {
-		parity[i] = make([]byte, size)
-		for j := 0; j < c.K; j++ {
-			mulSliceXor(c.matrix[i][j], data[j], parity[i])
-		}
+		parity[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
+	if err := c.EncodeInto(data, parity); err != nil {
+		return nil, err
 	}
 	return parity, nil
+}
+
+// EncodeInto computes the parity of data into the caller-owned parity
+// shards, overwriting their contents: no allocations on the steady-state
+// path. parity must hold exactly M shards of the common data shard length.
+func (c *Code) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.K || len(parity) != c.M {
+		return fmt.Errorf("%w: %d data + %d parity shards, want %d + %d",
+			ErrShape, len(data), len(parity), c.K, c.M)
+	}
+	size, err := shardSize(data)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		size = 0
+	}
+	for _, d := range data {
+		if len(d) != size {
+			return ErrShardSize // nil (length-0) shards in a non-empty encode
+		}
+	}
+	for _, p := range parity {
+		if len(p) != size {
+			return ErrShardSize
+		}
+	}
+	c.mulRows(c.tables, data, parity, size)
+	return nil
+}
+
+// Arena is a reusable pool of shard buffers for ReconstructInto: rebuilt
+// shards are carved from its buffers instead of fresh allocations, so a
+// caller that reconstructs repeatedly (e.g. the FTI cluster restoring
+// group after group) reaches a zero-allocation steady state. The zero
+// value is ready to use; Reset recycles every buffer for the next call.
+type Arena struct {
+	bufs []([]byte)
+	used int
+}
+
+// Reset makes all of the arena's buffers available again. The shards
+// returned by earlier ReconstructInto calls alias them, so only call Reset
+// once those results are no longer needed.
+func (a *Arena) Reset() { a.used = 0 }
+
+// take returns a zeroed-length buffer of the given size, reusing pooled
+// capacity when available.
+func (a *Arena) take(size int) []byte {
+	if a.used < len(a.bufs) && cap(a.bufs[a.used]) >= size {
+		b := a.bufs[a.used][:size]
+		a.used++
+		return b
+	}
+	b := make([]byte, size)
+	if a.used < len(a.bufs) {
+		a.bufs[a.used] = b
+	} else {
+		a.bufs = append(a.bufs, b)
+	}
+	a.used++
+	return b
 }
 
 // Reconstruct rebuilds missing shards in place. shards must have length
@@ -71,19 +167,25 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 // marks a lost shard. On success every entry is non-nil and the data
 // shards contain the original content.
 func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.ReconstructInto(shards, nil)
+}
+
+// ReconstructInto is Reconstruct with caller-owned storage: buffers for
+// the rebuilt shards come from arena (nil behaves like Reconstruct and
+// allocates fresh ones). The rebuilt entries of shards alias the arena's
+// buffers until its next Reset.
+func (c *Code) ReconstructInto(shards [][]byte, arena *Arena) error {
 	if len(shards) != c.K+c.M {
 		return fmt.Errorf("%w: %d shards, want %d", ErrShape, len(shards), c.K+c.M)
 	}
-	size := -1
+	size, err := shardSize(shards)
+	if err != nil {
+		return err
+	}
 	present := 0
 	for _, s := range shards {
 		if s != nil {
 			present++
-			if size == -1 {
-				size = len(s)
-			} else if len(s) != size {
-				return ErrShardSize
-			}
 		}
 	}
 	if present == c.K+c.M {
@@ -91,6 +193,9 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	}
 	if present < c.K {
 		return fmt.Errorf("%w: only %d of %d shards present", ErrTooManyLost, present, c.K)
+	}
+	if arena == nil {
+		arena = &Arena{}
 	}
 
 	// Build the system: pick K available rows of the generator [I; C] and
@@ -117,27 +222,36 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 		return fmt.Errorf("%w: %v", ErrReconstruct, err)
 	}
 
-	// Recover missing data shards: data[j] = Σ inv[j][r]·rhs[r].
+	// Recover missing data shards: data[j] = Σ inv[j][r]·rhs[r], all rows
+	// in one striped pass over the rhs shards.
+	var tabs [][]mulTable
+	var outs [][]byte
+	var slots []int
 	for j := 0; j < c.K; j++ {
 		if shards[j] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		for r := 0; r < c.K; r++ {
-			mulSliceXor(inv[j][r], rhs[r], out)
-		}
-		shards[j] = out
+		tabs = append(tabs, makeMulTables(inv[j]))
+		outs = append(outs, arena.take(size))
+		slots = append(slots, j)
+	}
+	c.mulRows(tabs, rhs, outs, size)
+	for i, j := range slots {
+		shards[j] = outs[i]
 	}
 	// Recompute missing parity shards from the (now complete) data.
+	tabs, outs, slots = tabs[:0], outs[:0], slots[:0]
 	for i := 0; i < c.M; i++ {
 		if shards[c.K+i] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		for j := 0; j < c.K; j++ {
-			mulSliceXor(c.matrix[i][j], shards[j], out)
-		}
-		shards[c.K+i] = out
+		tabs = append(tabs, c.tables[i])
+		outs = append(outs, arena.take(size))
+		slots = append(slots, c.K+i)
+	}
+	c.mulRows(tabs, shards[:c.K], outs, size)
+	for i, j := range slots {
+		shards[j] = outs[i]
 	}
 	return nil
 }

@@ -74,9 +74,34 @@ type Cluster struct {
 	pfs     map[int]snapshot   // level-4: [rank] -> snapshot (off-cluster)
 
 	// pending gathers one collective checkpoint's per-rank bytes until all
-	// ranks have contributed.
-	pending      map[int][]byte
+	// ranks have contributed. The per-rank buffers are reused across
+	// checkpoints (commit copies out of them into slot-owned storage), so
+	// the steady-state checkpoint path allocates nothing.
+	pending      [][]byte
+	pendingHave  []bool
+	pendingN     int
 	pendingLevel int
+
+	// encode scratch, guarded by mu: padded data shards and the parity
+	// slice handed to erasure.(*Code).EncodeInto.
+	encShards [][]byte
+	encParity [][]byte
+}
+
+// reuseSnapshot copies src into the snapshot's existing buffer when it is
+// large enough (allocating otherwise) and stamps the new version. Every
+// snapshot slot owns its buffer exclusively, which is what makes the
+// recycling safe: a slot's buffer is only ever rewritten when that same
+// slot is replaced.
+func reuseSnapshot(old snapshot, v int, src []byte) snapshot {
+	b := old.data
+	if cap(b) < len(src) {
+		b = make([]byte, len(src))
+	} else {
+		b = b[:len(src)]
+	}
+	copy(b, src)
+	return snapshot{version: v, data: b}
 }
 
 // NewCluster creates a machine of `nodes` nodes (one rank per node).
@@ -177,21 +202,29 @@ func (a *Agent) Checkpoint(level int, data []byte) (float64, error) {
 
 	// Stash this rank's bytes; the last arriver commits the version.
 	a.c.mu.Lock()
-	pendingKey := a.r.ID()
-	if a.c.pending == nil {
-		a.c.pending = make(map[int][]byte, a.r.Size())
+	id := a.r.ID()
+	size := a.r.Size()
+	if len(a.c.pending) < size {
+		a.c.pending = append(a.c.pending, make([][]byte, size-len(a.c.pending))...)
+		a.c.pendingHave = append(a.c.pendingHave, make([]bool, size-len(a.c.pendingHave))...)
+	}
+	if a.c.pendingN == 0 {
 		a.c.pendingLevel = level
 	}
 	if a.c.pendingLevel != level {
 		a.c.mu.Unlock()
 		return 0, fmt.Errorf("%w: mismatched checkpoint levels (%d vs %d)", ErrFTI, level, a.c.pendingLevel)
 	}
-	a.c.pending[pendingKey] = append([]byte(nil), data...)
-	complete := len(a.c.pending) == a.r.Size()
+	a.c.pending[id] = append(a.c.pending[id][:0], data...)
+	if !a.c.pendingHave[id] {
+		a.c.pendingHave[id] = true
+		a.c.pendingN++
+	}
+	complete := a.c.pendingN == size
 	var commitErr error
 	if complete {
-		commitErr = a.c.commitLocked(level, a.c.pending)
-		a.c.pending = nil
+		commitErr = a.c.commitLocked(level, a.c.pending[:size])
+		a.c.resetPendingLocked()
 	}
 	a.c.mu.Unlock()
 	if commitErr != nil {
@@ -203,60 +236,106 @@ func (a *Agent) Checkpoint(level int, data []byte) (float64, error) {
 	return dur, nil
 }
 
-// commitLocked persists a complete collective checkpoint.
-func (c *Cluster) commitLocked(level int, data map[int][]byte) error {
+// resetPendingLocked abandons or completes the in-flight collective: the
+// per-rank buffers stay allocated for the next checkpoint round.
+func (c *Cluster) resetPendingLocked() {
+	for i := range c.pendingHave {
+		c.pendingHave[i] = false
+	}
+	c.pendingN = 0
+}
+
+// rankData returns rank r's contribution to the collective (nil for ranks
+// beyond the run size).
+func rankData(data [][]byte, r int) []byte {
+	if r < 0 || r >= len(data) {
+		return nil
+	}
+	return data[r]
+}
+
+// commitLocked persists a complete collective checkpoint. data is indexed
+// by rank; the buffers belong to the pending scratch, so every snapshot
+// copies into its own (recycled) storage.
+func (c *Cluster) commitLocked(level int, data [][]byte) error {
 	c.version++
 	v := c.version
 	switch level {
 	case 1:
 		for rank, d := range data {
-			c.local[0][rank] = snapshot{v, d}
+			c.local[0][rank] = reuseSnapshot(c.local[0][rank], v, d)
 		}
 	case 2:
 		for rank, d := range data {
-			c.local[0][rank] = snapshot{v, d}
-			c.partner[0][c.PartnerOf(rank)] = snapshot{v, d}
+			c.local[0][rank] = reuseSnapshot(c.local[0][rank], v, d)
+			p := c.PartnerOf(rank)
+			c.partner[0][p] = reuseSnapshot(c.partner[0][p], v, d)
 		}
 	case 3:
 		for rank, d := range data {
-			c.rsData[0][rank] = snapshot{v, d}
+			c.rsData[0][rank] = reuseSnapshot(c.rsData[0][rank], v, d)
 		}
-		// Encode each group with real Reed–Solomon parity.
+		// Encode each group with real Reed–Solomon parity, reusing the
+		// cluster's padded-shard scratch and each group's previous parity
+		// buffers as the EncodeInto destinations.
 		groups := (c.nodes + c.cfg.GroupSize - 1) / c.cfg.GroupSize
+		if c.encShards == nil {
+			c.encShards = make([][]byte, c.cfg.GroupSize)
+			c.encParity = make([][]byte, c.cfg.Parity)
+		}
 		for g := 0; g < groups; g++ {
 			ranks := c.groupRanks(g)
 			size := 0
 			for _, r := range ranks {
-				if len(data[r]) > size {
-					size = len(data[r])
+				if len(rankData(data, r)) > size {
+					size = len(rankData(data, r))
 				}
 			}
-			shards := make([][]byte, c.cfg.GroupSize)
+			shards := c.encShards
 			for idx := range shards {
-				shards[idx] = make([]byte, size)
-				if idx < len(ranks) {
-					copy(shards[idx], data[ranks[idx]])
+				if cap(shards[idx]) < size {
+					shards[idx] = make([]byte, size)
+				} else {
+					shards[idx] = shards[idx][:size]
 				}
+				var d []byte
+				if idx < len(ranks) {
+					d = rankData(data, ranks[idx])
+				}
+				n := copy(shards[idx], d)
+				clear(shards[idx][n:]) // zero padding (and clears stale scratch)
 			}
-			parity, err := c.code.Encode(shards)
-			if err != nil {
+			par := c.rsPar[g]
+			if len(par) != c.cfg.Parity {
+				par = make([]snapshot, c.cfg.Parity)
+			}
+			parity := c.encParity
+			for i := range parity {
+				if cap(par[i].data) < size {
+					par[i].data = make([]byte, size)
+				}
+				parity[i] = par[i].data[:size]
+			}
+			if err := c.code.EncodeInto(shards, parity); err != nil {
 				return err
 			}
-			par := make([]snapshot, len(parity))
-			for i, p := range parity {
-				par[i] = snapshot{v, p}
+			for i := range par {
+				par[i] = snapshot{version: v, data: parity[i]}
 			}
 			c.rsPar[g] = par
 			c.rsSizes[g] = size
-			lens := make([]int, len(ranks))
+			lens := c.rsLens[g]
+			if len(lens) != len(ranks) {
+				lens = make([]int, len(ranks))
+			}
 			for idx, r := range ranks {
-				lens[idx] = len(data[r])
+				lens[idx] = len(rankData(data, r))
 			}
 			c.rsLens[g] = lens
 		}
 	case 4:
 		for rank, d := range data {
-			c.pfs[rank] = snapshot{v, d}
+			c.pfs[rank] = reuseSnapshot(c.pfs[rank], v, d)
 		}
 	}
 	return nil
@@ -271,7 +350,7 @@ func (c *Cluster) commitLocked(level int, data map[int][]byte) error {
 func (c *Cluster) Crash(nodeSet []int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.pending = nil // abandon any checkpoint that was mid-flight
+	c.resetPendingLocked() // abandon any checkpoint that was mid-flight
 	crashed := make(map[int]bool, len(nodeSet))
 	for _, n := range nodeSet {
 		if n < 0 || n >= c.nodes {
@@ -464,7 +543,11 @@ func (c *Cluster) Restore(level int) ([][]byte, error) {
 			}
 			for i, p := range c.rsPar[g] {
 				if p.data != nil {
-					shards[c.cfg.GroupSize+i] = append([]byte(nil), p.data...)
+					// Present shards are read-only inputs to Reconstruct, so
+					// the stored parity can be passed without a copy; only
+					// rebuilt (nil) slots get fresh buffers, and Restore
+					// returns none of the parity slots.
+					shards[c.cfg.GroupSize+i] = p.data
 				}
 			}
 			if err := c.code.Reconstruct(shards); err != nil {

@@ -60,6 +60,13 @@ type Solver struct {
 	cur, nxt []float64 // (rows+2) × GridX including ghost rows
 	iter     int
 	residual float64
+
+	// Per-iteration scratch, reused so the exchange loop allocates
+	// nothing: one encoded-row buffer (free for reuse as soon as Send
+	// copies it), one receive buffer, and the one-element residual vector.
+	rowBuf  []byte
+	recvBuf []byte
+	resBuf  [1]float64
 }
 
 // NewSolver initializes the rank-local state: interior at EdgeTemp, top
@@ -129,23 +136,28 @@ func (s *Solver) Step() {
 	gx := s.cfg.GridX
 	rows := s.rows()
 
-	// --- Ghost-row exchange (Irecv/Isend/Waitall, as in the MPI code) ---
-	var reqs []*mpisim.Request
-	var fromUp, fromDown *mpisim.Request
+	// --- Ghost-row exchange ---
+	// Same message flow and virtual-clock op order as the original
+	// Irecv/Isend/Waitall shape (sends are eager, so the clock sequence is
+	// Send↑, Send↓, Recv↑, Recv↓), but through buffer-reusing calls: Send
+	// copies the encoded row out immediately, so one scratch buffer serves
+	// both directions, and RecvInto recycles the runtime's message buffer.
+	if s.rowBuf == nil {
+		s.rowBuf = make([]byte, 8*gx)
+	}
 	if s.rowLo > 0 {
-		fromUp = r.Irecv(r.ID()-1, tagDown)
-		reqs = append(reqs, fromUp, r.Isend(r.ID()-1, tagUp, encodeRow(s.cur[s.idx(0, 0):s.idx(0, gx)])))
+		r.Send(r.ID()-1, tagUp, encodeRowInto(s.rowBuf, s.cur[s.idx(0, 0):s.idx(0, gx)]))
 	}
 	if s.rowHi < s.cfg.GridY {
-		fromDown = r.Irecv(r.ID()+1, tagUp)
-		reqs = append(reqs, fromDown, r.Isend(r.ID()+1, tagDown, encodeRow(s.cur[s.idx(rows-1, 0):s.idx(rows-1, gx)])))
+		r.Send(r.ID()+1, tagDown, encodeRowInto(s.rowBuf, s.cur[s.idx(rows-1, 0):s.idx(rows-1, gx)]))
 	}
-	r.Waitall(reqs)
-	if fromUp != nil {
-		copy(s.cur[0:gx], decodeRow(fromUp.Wait()))
+	if s.rowLo > 0 {
+		s.recvBuf = r.RecvInto(r.ID()-1, tagDown, s.recvBuf)
+		decodeRowInto(s.cur[0:gx], s.recvBuf)
 	}
-	if fromDown != nil {
-		copy(s.cur[(rows+1)*gx:(rows+2)*gx], decodeRow(fromDown.Wait()))
+	if s.rowHi < s.cfg.GridY {
+		s.recvBuf = r.RecvInto(r.ID()+1, tagUp, s.recvBuf)
+		decodeRowInto(s.cur[(rows+1)*gx:(rows+2)*gx], s.recvBuf)
 	}
 
 	// --- Stencil update ---
@@ -169,7 +181,8 @@ func (s *Solver) Step() {
 	s.cur, s.nxt = s.nxt, s.cur
 
 	// --- Residual monitoring, as the eddy_uv program does each step ---
-	s.residual = r.Allreduce(mpisim.Max, []float64{localMax})[0]
+	s.resBuf[0] = localMax
+	s.residual = r.Allreduce(mpisim.Max, s.resBuf[:])[0]
 	s.iter++
 }
 
@@ -196,9 +209,20 @@ func (s *Solver) Run(hook func(s *Solver) bool) RunResult {
 // Serialize captures the rank's protected state (iteration counter + owned
 // rows, not ghosts) for checkpointing.
 func (s *Solver) Serialize() []byte {
+	return s.SerializeInto(nil)
+}
+
+// SerializeInto is Serialize into a caller-owned buffer (grown when too
+// small), so checkpoint loops can reuse one snapshot buffer per rank.
+func (s *Solver) SerializeInto(buf []byte) []byte {
 	gx := s.cfg.GridX
 	rows := s.rows()
-	buf := make([]byte, 8+8*rows*gx)
+	n := 8 + 8*rows*gx
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	binary.LittleEndian.PutUint64(buf, uint64(s.iter))
 	for i := 0; i < rows*gx; i++ {
 		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(s.cur[gx+i]))
@@ -223,7 +247,13 @@ func (s *Solver) Restore(data []byte) error {
 }
 
 func encodeRow(row []float64) []byte {
-	out := make([]byte, 8*len(row))
+	return encodeRowInto(make([]byte, 8*len(row)), row)
+}
+
+// encodeRowInto packs a row into the caller's buffer (which must hold
+// 8·len(row) bytes) and returns the filled prefix.
+func encodeRowInto(out []byte, row []float64) []byte {
+	out = out[:8*len(row)]
 	for i, v := range row {
 		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
 	}
@@ -232,10 +262,15 @@ func encodeRow(row []float64) []byte {
 
 func decodeRow(b []byte) []float64 {
 	out := make([]float64, len(b)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
+	decodeRowInto(out, b)
 	return out
+}
+
+// decodeRowInto unpacks b into dst, which must hold len(b)/8 values.
+func decodeRowInto(dst []float64, b []byte) {
+	for i := range dst[:len(b)/8] {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
 }
 
 // SerialTime returns the failure-free single-core time of the full problem

@@ -11,7 +11,12 @@ import (
 // PR 2 found by hand in the heat test. The safe idioms stay silent:
 // writing a distinct slice element per goroutine (results[i] = ...),
 // passing values as closure parameters, sending on a channel, or locking
-// a mutex inside the closure.
+// a mutex inside the closure. The slice-element exemption also covers the
+// striped-chunk worker pattern (internal/erasure.(*Code).mulRows), where
+// pool workers pull chunk indexes from a channel and write disjoint
+// [lo, hi) ranges of shared shards — per-range rather than per-slot, but
+// the same ownership discipline; the workers=1 vs workers=N determinism
+// tests and the race gate keep that discipline honest.
 func GoroutineCaptureAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "goroutine-capture",

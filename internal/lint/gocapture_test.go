@@ -154,6 +154,80 @@ func bad(xs []float64, total *float64) {
 			want: map[int][]string{6: {"goroutine-capture"}},
 		},
 		{
+			// The erasure encoder's striped-chunk worker pattern
+			// (internal/erasure.(*Code).mulRows): a fixed pool of goroutines
+			// pulls chunk indexes from a channel and writes disjoint [lo, hi)
+			// ranges of shared slices. Element writes computed from the pulled
+			// index are the per-range sibling of the per-slot idiom and must
+			// stay silent.
+			name: "striped-chunk workers writing disjoint index ranges are sanctioned",
+			src: `package fixture
+
+func ok(src, dst []byte, chunk, workers int) {
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for ci := range next {
+				for i := ci * chunk; i < (ci+1)*chunk && i < len(dst); i++ {
+					dst[i] = src[i] + 1
+				}
+			}
+		}()
+	}
+	for ci := 0; ci*chunk < len(dst); ci++ {
+		next <- ci
+	}
+	close(next)
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "striped-chunk workers delegating writes to a kernel call are sanctioned",
+			src: `package fixture
+
+func kernel(dst []byte, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = 0
+	}
+}
+
+func ok(dst []byte, chunk, workers int) {
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for ci := range next {
+				kernel(dst, ci*chunk, (ci+1)*chunk)
+			}
+		}()
+	}
+	close(next)
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "striped workers still flagged when they write a captured scalar",
+			src: `package fixture
+
+func bad(dst []byte, chunk, workers int) int {
+	done := 0
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for ci := range next {
+				_ = ci
+				done++
+			}
+		}()
+	}
+	close(next)
+	return done
+}
+`,
+			want: map[int][]string{10: {"goroutine-capture"}},
+		},
+		{
 			name: "allow directive keeps a justified exception",
 			src: `package fixture
 

@@ -69,8 +69,17 @@ type mailKey struct {
 	src, dst, tag int
 }
 
+// collKey names one instance of a collective: the operation kind plus the
+// per-rank sequence number. A comparable struct (rather than a formatted
+// string) keeps the per-rank hot path allocation-free.
+type collKey struct {
+	kind string
+	seq  int
+}
+
 type message struct {
 	data    []byte
+	pooled  *[]byte // pool wrapper for data: recycled by RecvInto, dropped by Recv
 	arrival float64 // virtual time the message is available at the receiver
 }
 
@@ -87,8 +96,14 @@ type Runtime struct {
 
 	mu    sync.Mutex
 	mail  map[mailKey]chan message
-	colls map[string]*collOp
+	colls map[collKey]*collOp
 	ranks []*Rank
+
+	// bufPool recycles message payload buffers: Send copies into a pooled
+	// buffer and RecvInto returns it to the pool after copying out, so the
+	// steady-state exchange path allocates nothing. Only buffer identity
+	// depends on scheduling; contents, arrival times, and clocks do not.
+	bufPool sync.Pool
 
 	abort     chan struct{} // closed when any rank panics
 	abortOnce sync.Once
@@ -140,7 +155,7 @@ func RunObserved(size int, cost CostModel, fn func(*Rank), rec obs.Recorder, tra
 		rec:   obs.OrNop(rec),
 		track: track,
 		mail:  make(map[mailKey]chan message),
-		colls: make(map[string]*collOp),
+		colls: make(map[collKey]*collOp),
 		abort: make(chan struct{}),
 	}
 	rt.ranks = make([]*Rank, size)
@@ -218,15 +233,32 @@ func (rt *Runtime) box(k mailKey) chan message {
 	return ch
 }
 
+// getBuf returns a pooled buffer of length n (allocating when the pool is
+// empty or its buffer is too small). The pool traffics in *[]byte so that
+// Get/Put move a pointer, not a boxed slice header — Put([]byte) would
+// heap-allocate the header on every recycle.
+func (rt *Runtime) getBuf(n int) *[]byte {
+	if p, _ := rt.bufPool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]byte, n)
+	return &b
+}
+
 // Send transmits data to rank dst with the given tag (eager semantics: the
-// sender does not wait for the matching receive).
+// sender does not wait for the matching receive). The payload is copied,
+// so the caller may reuse data immediately.
 func (r *Rank) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= r.rt.size {
 		panic(fmt.Sprintf("mpisim: Send to invalid rank %d", dst))
 	}
 	r.clock += r.rt.cost.Overhead
+	p := r.rt.getBuf(len(data))
+	copy(*p, data)
 	msg := message{
-		data:    append([]byte(nil), data...),
+		data:    *p,
+		pooled:  p,
 		arrival: r.clock + r.rt.cost.transferTime(len(data)),
 	}
 	select {
@@ -255,6 +287,34 @@ func (r *Rank) Recv(src, tag int) []byte {
 	return msg.data
 }
 
+// RecvInto is Recv with a caller-owned destination: the payload is copied
+// into buf (grown if too small) and the internal message buffer returns
+// to the runtime's pool, so a steady-state exchange loop allocates
+// nothing. Clock semantics are identical to Recv.
+func (r *Rank) RecvInto(src, tag int, buf []byte) []byte {
+	if src < 0 || src >= r.rt.size {
+		panic(fmt.Sprintf("mpisim: RecvInto from invalid rank %d", src))
+	}
+	var msg message
+	select {
+	case msg = <-r.rt.box(mailKey{src, r.id, tag}):
+	case <-r.rt.abort:
+		panic(abortSentinel{})
+	}
+	if msg.arrival > r.clock {
+		r.clock = msg.arrival
+	}
+	r.clock += r.rt.cost.Overhead
+	if cap(buf) < len(msg.data) {
+		buf = make([]byte, len(msg.data))
+	} else {
+		buf = buf[:len(msg.data)]
+	}
+	copy(buf, msg.data)
+	r.rt.bufPool.Put(msg.pooled)
+	return buf
+}
+
 // Request is a pending nonblocking operation.
 type Request struct {
 	rank     *Rank
@@ -264,11 +324,15 @@ type Request struct {
 	data     []byte
 }
 
+// doneRequest is the shared completed-send request: Wait on a done
+// request only reads, so one immutable instance serves every Isend.
+var doneRequest = &Request{done: true}
+
 // Isend starts a nonblocking send. The message is injected immediately
 // (eager); Wait is a no-op kept for MPI-shaped code.
 func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	r.Send(dst, tag, data)
-	return &Request{rank: r, done: true}
+	return doneRequest
 }
 
 // Irecv posts a nonblocking receive; the match happens at Wait.
@@ -305,7 +369,7 @@ func (r *Rank) collective(kind string, payload any,
 	rt := r.rt
 	seq := r.seq[kind]
 	r.seq[kind] = seq + 1
-	key := fmt.Sprintf("%s#%d", kind, seq)
+	key := collKey{kind: kind, seq: seq}
 
 	rt.mu.Lock()
 	op, ok := rt.colls[key]
@@ -396,9 +460,12 @@ const (
 // Allreduce reduces the per-rank vectors elementwise with op and returns
 // the reduced vector to every rank.
 func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
-	local := append([]float64(nil), data...)
+	// No defensive copy of data: every rank is blocked inside the
+	// collective until the last arriver has run the reduction, so no
+	// caller can mutate its argument while another rank's closure reads
+	// it. (The reduced vector is a fresh allocation shared by all ranks.)
 	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data)) * 2 // reduce + broadcast phases
-	out := r.collective("allreduce", local, func(entries []float64, payloads []any) (any, float64) {
+	out := r.collective("allreduce", data, func(entries []float64, payloads []any) (any, float64) {
 		acc := append([]float64(nil), payloads[0].([]float64)...)
 		for i := 1; i < len(payloads); i++ {
 			v := payloads[i].([]float64)

@@ -83,12 +83,14 @@ func RunMany(cfg Config, runs int, seed uint64) ([]Result, error) {
 // Summarize aggregates a batch of results.
 func Summarize(results []Result) Aggregate {
 	agg := Aggregate{Runs: len(results)}
-	wct := make([]float64, len(results))
-	prod := make([]float64, len(results))
-	ckpt := make([]float64, len(results))
-	rst := make([]float64, len(results))
-	rb := make([]float64, len(results))
-	fl := make([]float64, len(results))
+	n := len(results)
+	slab := make([]float64, 6*n) // one backing array for the six metric columns
+	wct := slab[0*n : 1*n]
+	prod := slab[1*n : 2*n]
+	ckpt := slab[2*n : 3*n]
+	rst := slab[3*n : 4*n]
+	rb := slab[4*n : 5*n]
+	fl := slab[5*n : 6*n]
 	for i, r := range results {
 		wct[i] = r.WallClock
 		prod[i] = r.Productive

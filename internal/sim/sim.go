@@ -176,9 +176,17 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 		maxWall = 4000 * failure.SecondsPerDay * 20
 	}
 
+	// Per-level state lives in two slabs (one float64, one int) instead of
+	// six separate slices: sweeps run this function millions of times, so
+	// the fixed per-call allocation count matters. The two slices returned
+	// inside Result get their capacity clipped so an appending caller can
+	// never spill into a neighboring slab region.
+	floats := make([]float64, 3*L)
+	ints := make([]int, 3*L)
+
 	// Per-level checkpoint period in progress seconds.
-	tau := make([]float64, L)
-	nextMark := make([]int, L) // next interval index to checkpoint (1..x_i-1)
+	tau := floats[0*L : 1*L]
+	nextMark := ints[0*L : 1*L] // next interval index to checkpoint (1..x_i-1)
 	for i := range tau {
 		tau[i] = P / cfg.X[i]
 		nextMark[i] = 1
@@ -191,11 +199,11 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 	}
 
 	res := Result{
-		Failures:         make([]int, L),
-		CheckpointsTaken: make([]int, L),
+		Failures:         ints[1*L : 2*L : 2*L],
+		CheckpointsTaken: ints[2*L : 3*L : 3*L],
 	}
-	lastCkpt := make([]float64, L)     // progress of newest completed ckpt per level (0 = start)
-	furthestCkpt := make([]float64, L) // furthest progress ever checkpointed per level
+	lastCkpt := floats[1*L : 2*L]     // progress of newest completed ckpt per level (0 = start)
+	furthestCkpt := floats[2*L : 3*L] // furthest progress ever checkpointed per level
 	for i := range furthestCkpt {
 		furthestCkpt[i] = -1
 	}
