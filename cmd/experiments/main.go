@@ -5,9 +5,15 @@
 //	experiments [-runs N] [-quick] [-workers N] [-no-progress] <id>...
 //	experiments -metrics-out m.json -trace-out t.json all
 //
-// IDs: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens.
+// IDs: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens,
+// plus chaos (the fault-injection grid of docs/FAULTS.md; excluded from
+// "all" so the golden regression output never depends on it).
 // -quick shrinks run counts and scales for a fast smoke pass; the default
 // settings reproduce the paper's configuration (100-run means).
+//
+// -replay FILE is a standalone mode: it reads a recorded failure trace
+// (the versioned JSONL format of internal/failure.WriteTrace), replays it
+// deterministically through the simulator, and prints the run.
 //
 // The heavy experiments fan out across the internal/sweep worker pool.
 // -workers bounds the pool (0 = all CPUs); results are bit-identical for
@@ -40,6 +46,7 @@ import (
 
 	"mlckpt/internal/cli"
 	"mlckpt/internal/experiments"
+	"mlckpt/internal/failure"
 	"mlckpt/internal/obs"
 	"mlckpt/internal/sweep"
 )
@@ -67,12 +74,30 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 		pprofFlag  = flag.String("pprof", "", "serve net/http/pprof on addr (host:port) or write cpu/heap profiles to a directory")
+		replayFile = flag.String("replay", "", "replay a recorded failure trace (failure JSONL, docs/FAULTS.md) and exit")
 	)
 	flag.Parse()
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			log.Fatalf("-replay: %v", err)
+		}
+		trace, err := failure.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("-replay %s: %v", *replayFile, err)
+		}
+		r, err := experiments.Replay(trace)
+		if err != nil {
+			log.Fatalf("-replay %s: %v", *replayFile, err)
+		}
+		fmt.Println(r.Render())
+		return
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "ids: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens all")
+		fmt.Fprintln(os.Stderr, "ids: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens chaos all")
 		os.Exit(2)
 	}
 	if len(ids) == 1 && ids[0] == "all" {
@@ -253,6 +278,15 @@ func runExperiment(id string, simRuns int, quick bool, grid func(string) experim
 		return r.Render(), nil
 	case "sens":
 		r, err := experiments.Sensitivity("16-12-8-4")
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "chaos":
+		// Not part of "all": the chaos grid validates the fault-injection
+		// harness (docs/FAULTS.md), not a paper table, and the golden
+		// regression output must not depend on it.
+		r, err := experiments.ChaosGrid(16, grid(id))
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/fti"
+	"mlckpt/internal/heat"
+	"mlckpt/internal/inject"
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/stats"
+	"mlckpt/internal/sweep"
+)
+
+// chaosRootSeed seeds every compiled fault plan (per-cell plans derive
+// from it by canonical cell key, so the grid is byte-reproducible at any
+// worker count).
+const chaosRootSeed = 20140816 // SC'14 vintage
+
+// ChaosCell is one cell of the chaos grid: a corruption rate and a
+// correlated-crash rate, plus the fixed window/transient rates every cell
+// shares, driven through a full heat+FTI execution.
+type ChaosCell struct {
+	Corrupt   float64 // per-snapshot at-rest corruption probability, all levels
+	Correlate float64 // partner-pair and parity-holder correlated crash probability
+	Res       RealResult
+	Failed    string // loud failure text; empty when the run completed
+}
+
+// ChaosResult is the outcome of the chaos grid: the fault-free golden run
+// plus every injected cell, with the escalation invariant already checked
+// (ChaosGrid errors out on any violation).
+type ChaosResult struct {
+	Ranks        int
+	GoldenWall   float64
+	GoldenDigest uint64
+	Cells        []ChaosCell
+}
+
+// chaosConfig is the shared execution: a longer heat run than the realrun
+// tests (so several failures strike per execution) with rates chosen to
+// keep the run stable — the mean failure interarrival (~5.8 s) comfortably
+// exceeds the cost of one failure cycle (rollback + allocation +
+// recovery), so injected chaos perturbs the run without collapsing it.
+// MaxWall is a tight horizon: a cell that does thrash truncates loudly in
+// bounded host time instead of crawling toward the 30-day default.
+func chaosConfig(ranks int, seed uint64) RealConfig {
+	return RealConfig{
+		Ranks:     ranks,
+		Heat:      heat.Config{GridX: 64, GridY: 64, Iterations: 600, CellTime: 2e-4, TopTemp: 100},
+		FTI:       fti.DefaultConfig(),
+		Intervals: [fti.Levels]int{48, 24, 12, 6},
+		Rates:     failure.MustParseRates("8000-4000-800-400", float64(ranks)),
+		Alloc:     0.5,
+		Cost:      mpisim.DefaultCostModel(),
+		MaxWall:   600,
+		Seed:      seed,
+		// Loud-by-construction: an exhausted escalation is an error naming
+		// the last rung, never a silent from-scratch restart.
+		DisableScratch: true,
+	}
+}
+
+// chaosSpec builds one cell's fault plan: the two grid axes plus fixed
+// window/transient rates shared by every cell (so even the corrupt=0,
+// correlate=0 corner exercises checkpoint aborts, recovery-window crashes,
+// and transient PFS faults).
+func chaosSpec(corrupt, correlate float64) inject.Spec {
+	return inject.Spec{
+		CorruptRate:       []float64{corrupt, corrupt, corrupt, corrupt},
+		TruncateFrac:      0.25,
+		PartnerPairRate:   correlate,
+		ParityHolderRate:  correlate,
+		CkptAbortRate:     0.05,
+		RecoveryCrashRate: 0.15,
+		PFSWriteFailRate:  0.2,
+		PFSReadFailRate:   0.2,
+	}
+}
+
+// ChaosGrid runs the fault-injection chaos grid: a fault-free golden
+// execution, then one cell per (corruption rate × correlated-crash rate)
+// combination, each under a deterministically compiled fault plan. It
+// enforces the escalation invariant — every cell either completes with a
+// final state byte-identical to the golden run, or fails loudly naming
+// the exhausted recovery rung — and returns an error on any violation.
+// Results are bit-identical for every Grid.Workers setting.
+func ChaosGrid(ranks int, g Grid) (ChaosResult, error) {
+	return chaosGridSeeded(ranks, g, chaosRootSeed)
+}
+
+// chaosGridSeeded is ChaosGrid under an explicit root seed; the CI seed
+// matrix (chaos_test.go) sweeps several fixed seeds through it.
+func chaosGridSeeded(ranks int, g Grid, rootSeed uint64) (ChaosResult, error) {
+	if ranks <= 0 || ranks%8 != 0 {
+		ranks = 16
+	}
+	res := ChaosResult{Ranks: ranks}
+
+	corrupts := []float64{0, 0.02, 0.1, 0.4}
+	correlates := []float64{0, 0.5}
+
+	// Per-cell seeds pre-drawn serially so the fan-out below is
+	// order-independent.
+	rng := stats.NewRNG(rootSeed)
+	goldenSeed := rng.Uint64()
+	seeds := make([]uint64, len(corrupts)*len(correlates))
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+
+	// Golden run: a zero plan (non-nil, so the state digest is computed)
+	// injects nothing — byte-identical to a plain failure-free execution.
+	goldenCfg := chaosConfig(ranks, goldenSeed)
+	goldenCfg.Rates = failure.MustParseRates("0-0-0-0", float64(ranks))
+	goldenCfg.Inject = inject.MustCompile(inject.Spec{}, rootSeed, "chaos/golden")
+	golden, err := RunReal(goldenCfg)
+	if err != nil {
+		return res, fmt.Errorf("chaos golden run: %w", err)
+	}
+	if !golden.Completed {
+		return res, fmt.Errorf("%w: chaos golden run did not complete", ErrReal)
+	}
+	res.GoldenWall = golden.WallClock
+	res.GoldenDigest = golden.StateDigest
+
+	var jobs []sweep.Job
+	ci := 0
+	for _, corrupt := range corrupts {
+		for _, correlate := range correlates {
+			corrupt, correlate := corrupt, correlate
+			seed := seeds[ci]
+			key := fmt.Sprintf("chaos/c%g-r%g", corrupt, correlate)
+			ci++
+			jobs = append(jobs, sweep.Job{
+				Name: key,
+				Solve: func() (any, error) {
+					cfg := chaosConfig(ranks, seed)
+					cfg.Inject = inject.MustCompile(chaosSpec(corrupt, correlate), rootSeed, key)
+					cfg.Obs = g.Obs
+					rr, rerr := RunReal(cfg)
+					cell := ChaosCell{Corrupt: corrupt, Correlate: correlate, Res: rr}
+					if rerr != nil {
+						// A loud chaos failure (exhausted rung, PFS retry
+						// budget) is an allowed outcome; anything else is a
+						// driver bug and propagates.
+						if errors.Is(rerr, fti.ErrExhausted) || errors.Is(rerr, ErrReal) {
+							cell.Failed = rerr.Error()
+							return cell, nil
+						}
+						return nil, rerr
+					}
+					if !rr.Completed {
+						cell.Failed = "truncated at the wall-clock horizon"
+					}
+					return cell, nil
+				},
+			})
+		}
+	}
+	outs := sweep.Run(jobs, sweep.Options{Workers: g.Workers, Cache: g.Cache, Progress: g.Progress})
+	for _, o := range outs {
+		if o.Err != nil {
+			return res, fmt.Errorf("%s: %w", o.Name, o.Err)
+		}
+		cell := o.Solved.(ChaosCell)
+		// The escalation invariant: completed ⇒ byte-identical to golden.
+		if cell.Failed == "" && cell.Res.StateDigest != res.GoldenDigest {
+			return res, fmt.Errorf("%w: chaos invariant violated: cell corrupt=%g correlate=%g digest %016x != golden %016x",
+				ErrReal, cell.Corrupt, cell.Correlate, cell.Res.StateDigest, res.GoldenDigest)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Render prints the grid.
+func (r ChaosResult) Render() string {
+	t := NewTable(fmt.Sprintf("Chaos grid: deterministic fault injection, %d ranks (golden wall %.2f s, digest %016x)",
+		r.Ranks, r.GoldenWall, r.GoldenDigest),
+		"corrupt", "correlate", "wall (s)", "fails", "recov", "escal", "detect (s)", "inject", "retries", "outcome")
+	for _, c := range r.Cells {
+		fails := 0
+		for _, v := range c.Res.Failures {
+			fails += v
+		}
+		recov := 0
+		for _, v := range c.Res.Recoveries {
+			recov += v
+		}
+		outcome := "identical"
+		if c.Failed != "" {
+			outcome = c.Failed
+		}
+		t.Add(
+			fmt.Sprintf("%.2f", c.Corrupt),
+			fmt.Sprintf("%.2f", c.Correlate),
+			fmt.Sprintf("%.2f", c.Res.WallClock),
+			fmt.Sprintf("%d", fails),
+			fmt.Sprintf("%d", recov),
+			fmt.Sprintf("%d", c.Res.Escalations),
+			fmt.Sprintf("%.3f", c.Res.DetectionLatency),
+			fmt.Sprintf("%d", c.Res.InjectedFaults),
+			fmt.Sprintf("%d", c.Res.PFSRetries),
+			outcome,
+		)
+	}
+	return t.String()
+}

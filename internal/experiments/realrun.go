@@ -1,15 +1,20 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"mlckpt/internal/failure"
 	"mlckpt/internal/fti"
 	"mlckpt/internal/heat"
+	"mlckpt/internal/inject"
 	"mlckpt/internal/mpisim"
+	"mlckpt/internal/obs"
 	"mlckpt/internal/stats"
+	"mlckpt/internal/storage"
 )
 
 // ErrReal is returned by the real-execution driver.
@@ -33,6 +38,28 @@ type RealConfig struct {
 	// UseBlocks switches the application to the paper's 2-D block
 	// decomposition (heat.BlockSolver) instead of the 1-D row layout.
 	UseBlocks bool
+
+	// Inject, when non-nil, arms the deterministic chaos harness: committed
+	// snapshots corrupt at rest (caught by fti's verify-on-restore, which
+	// escalates through the hierarchy), failures land inside checkpoint and
+	// recovery windows, and transient PFS errors are retried with Retry's
+	// deterministic backoff on the virtual clock. Every decision is a pure
+	// function of the compiled plan, so a chaos run is byte-reproducible at
+	// any worker count. Nil disables all of it — a nil-Inject run is
+	// byte-identical to the pre-harness driver.
+	Inject *inject.Plan
+	// Retry bounds transient-PFS retries; the zero value means
+	// storage.DefaultRetryPolicy. Only consulted when Inject is non-nil.
+	Retry storage.RetryPolicy
+	// DisableScratch turns an exhausted recovery escalation into a loud
+	// error (wrapping fti.ErrExhausted, naming the last rung tried) instead
+	// of a silent from-scratch restart — the chaos-grid invariant.
+	DisableScratch bool
+
+	// Obs receives chaos counters (injected faults, escalations, PFS
+	// retries, detection latency). All values are deterministic functions
+	// of (config, plan); nil disables instrumentation.
+	Obs obs.Recorder `json:"-"`
 }
 
 // segmentApp abstracts the two heat decompositions for the driver.
@@ -65,10 +92,20 @@ func newApp(r *mpisim.Rank, cfg RealConfig) (segmentApp, func(hook func() bool) 
 type RealResult struct {
 	WallClock    float64
 	Failures     []int               // per class
-	Recoveries   []int               // recoveries per level used
+	Recoveries   []int               // recoveries per level that finally held
 	FromScratch  int                 // restarts with no usable checkpoint
 	CkptDuration [fti.Levels]float64 // last observed per-level checkpoint cost
 	Completed    bool
+
+	// Chaos telemetry, populated only when RealConfig.Inject is non-nil.
+	StateDigest       uint64  // FNV-1a of the final per-rank states
+	InjectedFaults    int     // snapshot corruptions applied at rest
+	Escalations       int     // recoveries that fell past at least one rung
+	DetectionLatency  float64 // seconds spent reading rungs that failed verification
+	PFSRetries        int     // extra PFS attempts caused by transient faults
+	CkptAborts        int     // checkpoints aborted by a failure inside the write window
+	RecoveryCrashes   int     // failures injected inside recovery windows
+	CorrelatedCrashes int     // single-node failures upgraded to correlated crash sets
 }
 
 // victims returns the crash pattern of a failure class (0-based level):
@@ -102,6 +139,11 @@ func victims(class int, cfg RealConfig, rng *stats.RNG) []int {
 	}
 }
 
+// maxRecoveryCrashes caps injected failures per recovery episode so a
+// rate-1 plan cannot loop forever; the cap is part of the deterministic
+// semantics (crash decisions are indexed by attempt number).
+const maxRecoveryCrashes = 4
+
 // RunReal executes the application to completion under injected failures
 // and multilevel recovery, returning the accumulated virtual wall clock.
 func RunReal(cfg RealConfig) (RealResult, error) {
@@ -119,6 +161,43 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 	cluster, err := fti.NewCluster(cfg.Ranks, cfg.FTI)
 	if err != nil {
 		return res, err
+	}
+	plan := cfg.Inject
+	retry := cfg.Retry
+	if retry == (storage.RetryPolicy{}) {
+		retry = storage.DefaultRetryPolicy()
+	}
+	if plan != nil {
+		if err := retry.Validate(); err != nil {
+			return res, err
+		}
+		cluster.SetInjector(plan)
+	}
+	rec := obs.OrNop(cfg.Obs)
+	finish := func() {
+		if plan == nil {
+			return
+		}
+		res.InjectedFaults = cluster.InjectedFaults()
+		counts := []struct {
+			name string
+			v    int
+		}{
+			{"real.injected_faults", res.InjectedFaults},
+			{"real.escalations", res.Escalations},
+			{"real.pfs_retries", res.PFSRetries},
+			{"real.ckpt_aborts", res.CkptAborts},
+			{"real.recovery_crashes", res.RecoveryCrashes},
+			{"real.correlated_crashes", res.CorrelatedCrashes},
+		}
+		for _, c := range counts {
+			if c.v > 0 {
+				rec.Count(c.name, int64(c.v))
+			}
+		}
+		if res.DetectionLatency > 0 {
+			rec.Observe("real.detection_latency_s", res.DetectionLatency)
+		}
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	proc := failure.NewProcess(cfg.Rates, float64(cfg.Ranks), failure.Exponential, 0, rng.Split())
@@ -143,20 +222,29 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 		}
 		return 0
 	}
+	perNode := 8 * cfg.Heat.GridX * cfg.Heat.GridY / cfg.Ranks
 
 	wall := 0.0
+	episode := 0       // failure ordinal, keys recovery-window injections
+	ckptSeqBase := 0   // checkpoint attempts in completed segments
 	var snaps [][]byte // recovered per-rank states; nil = fresh start
 	nextFail, haveFail := proc.Next(0)
 
 	for {
 		if wall > cfg.MaxWall {
 			res.WallClock = wall
+			finish()
 			return res, nil
 		}
 		type segOut struct {
-			completed bool
-			failClass int
-			wallLocal float64
+			completed    bool
+			failClass    int
+			ckptAborted  bool
+			pfsRetries   int
+			ckptAttempts int
+			wallLocal    float64
+			digest       uint64
+			loudErr      error // typed policy failure; ends the run loudly
 		}
 		out := segOut{failClass: -1}
 		_, err := mpisim.Run(cfg.Ranks, cfg.Cost, func(r *mpisim.Rank) {
@@ -170,11 +258,19 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 				}
 			}
 			agent := cluster.Attach(r)
+			stopped := false
+			// Checkpoint-attempt ordinal, counted identically on every rank
+			// and carried across segments via ckptSeqBase. Injection keys on
+			// the ordinal, not the iteration: after a rollback the run
+			// re-crosses the same iterations, and an iteration-keyed abort
+			// would deterministically re-fire forever.
+			seq := 0
 			result := runSeg(func() bool {
 				// Clocks are synchronized by the per-iteration Allreduce,
 				// so every rank sees the same wall time and failure
 				// decision.
 				if haveFail && wall+r.Clock() >= nextFail.Time {
+					stopped = true
 					if r.ID() == 0 {
 						out.failClass = nextFail.Level
 						out.wallLocal = r.Clock()
@@ -182,9 +278,71 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 					return false
 				}
 				if lvl := dueLevel(s.Iteration()); lvl > 0 {
-					d, err := agent.Checkpoint(lvl, s.Serialize())
+					data := s.Serialize()
+					ord := ckptSeqBase + seq
+					seq++
+					if r.ID() == 0 {
+						out.ckptAttempts = seq
+					}
+					if plan != nil {
+						if frac, abort := plan.CkptAbort(lvl, ord); abort {
+							// Injected failure inside the write window: the
+							// partial checkpoint is discarded, its elapsed
+							// fraction wasted, and a transient (class-0)
+							// failure strikes — no storage damage, but the
+							// run must restore, exercising verification of
+							// whatever corruption is already at rest.
+							dur, cerr := cluster.CheckpointCost(lvl, len(data))
+							if cerr != nil {
+								panic(cerr)
+							}
+							r.Compute(frac * dur)
+							stopped = true
+							if r.ID() == 0 {
+								out.failClass = 0
+								out.ckptAborted = true
+								out.wallLocal = r.Clock()
+							}
+							return false
+						}
+					}
+					d, err := agent.Checkpoint(lvl, data)
 					if err != nil {
 						panic(err)
+					}
+					if plan != nil && lvl == fti.Levels {
+						// Transient PFS write faults: the data is intact
+						// (the commit above is the eventual success); only
+						// the virtual-time cost of the wasted attempts and
+						// backoff is charged. Exhausting the budget means
+						// the checkpoint never landed — fail loudly.
+						elapsed, attempts, ok := retry.Retry(d, func(attempt int) bool {
+							return plan.PFSWriteFails(ord, attempt)
+						})
+						if !ok {
+							// Every rank stops here (the plan decision is
+							// rank-uniform); the typed error must cross the
+							// segment boundary intact, so it travels via out
+							// rather than a panic mpisim would re-wrap.
+							stopped = true
+							if r.ID() == 0 {
+								out.loudErr = fmt.Errorf("%w: level-4 checkpoint at iteration %d failed after %d attempts (transient PFS writes)",
+									ErrReal, s.Iteration(), attempts)
+								out.wallLocal = r.Clock()
+							}
+							return false
+						}
+						r.Compute(elapsed - d)
+						if r.ID() == 0 {
+							out.pfsRetries += attempts - 1
+						}
+						// The retry cost scales with this rank's snapshot
+						// size; on uneven decompositions that would drift
+						// rank clocks apart and desynchronize the shared
+						// failure decision above. Every rank takes this
+						// branch (the plan is keyed on iteration, not rank),
+						// so a barrier is safe.
+						r.Barrier()
 					}
 					if r.ID() == 0 {
 						res.CkptDuration[lvl-1] = d
@@ -192,6 +350,23 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 				}
 				return true
 			})
+			if plan != nil && !stopped {
+				// Digest the final application state (for the chaos-grid
+				// invariant: a faulty run must finish byte-identical to the
+				// fault-free golden run). The gather happens after the
+				// run's wall clock is read, so it never perturbs timing.
+				all := r.Gather(s.Serialize())
+				if r.ID() == 0 {
+					h := fnv.New64a()
+					var lenBuf [8]byte
+					for _, b := range all {
+						binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(b)))
+						h.Write(lenBuf[:])
+						h.Write(b)
+					}
+					out.digest = h.Sum64()
+				}
+			}
 			if r.ID() == 0 && out.failClass < 0 {
 				out.completed = true
 				out.wallLocal = result.WallClock
@@ -201,35 +376,135 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			return res, err
 		}
 		wall += out.wallLocal
+		res.PFSRetries += out.pfsRetries
+		ckptSeqBase += out.ckptAttempts
+		if out.loudErr != nil {
+			res.WallClock = wall
+			finish()
+			return res, out.loudErr
+		}
 		if out.completed {
 			res.WallClock = wall
 			res.Completed = true
+			res.StateDigest = out.digest
+			finish()
 			return res, nil
 		}
 
 		// Failure handling: storage damage, recovery, resume.
 		res.Failures[out.failClass]++
-		if err := cluster.Crash(victims(out.failClass, cfg, rng)); err != nil {
+		if out.ckptAborted {
+			res.CkptAborts++
+		}
+		vict := victims(out.failClass, cfg, rng)
+		if plan != nil && out.failClass == 1 && len(vict) == 1 {
+			// Correlated crash patterns: a single-node loss may take its
+			// partner (breaking the level-2 copy) and/or the node holding
+			// its group's first parity shard (eroding level 3) down with
+			// it — the paper's footnote-1 correlated events, aimed at the
+			// exact nodes whose redundancy protects the victim.
+			n := vict[0]
+			upgraded := false
+			if plan.PairCrash(episode) {
+				vict = append(vict, cluster.PartnerOf(n))
+				upgraded = true
+			}
+			if plan.ParityCrash(episode) {
+				if p := cluster.ParityHolderOf(n, 0); p != n && p != vict[len(vict)-1] {
+					vict = append(vict, p)
+				}
+				upgraded = true
+			}
+			if upgraded {
+				res.CorrelatedCrashes++
+			}
+		}
+		if err := cluster.Crash(vict); err != nil {
 			return res, err
 		}
 		wall += cfg.Alloc
-		lvl, _, ok := cluster.BestRecovery()
-		if ok {
-			perNode := 8 * cfg.Heat.GridX * cfg.Heat.GridY / cfg.Ranks
-			rc, err := cluster.RecoveryCost(lvl, perNode)
-			if err != nil {
-				return res, err
+		if plan == nil {
+			lvl, _, ok := cluster.BestRecovery()
+			if ok {
+				rc, err := cluster.RecoveryCost(lvl, perNode)
+				if err != nil {
+					return res, err
+				}
+				wall += rc
+				snaps, err = cluster.Restore(lvl)
+				if err != nil {
+					return res, err
+				}
+				res.Recoveries[lvl-1]++
+			} else {
+				snaps = nil
+				res.FromScratch++
 			}
-			wall += rc
-			snaps, err = cluster.Restore(lvl)
-			if err != nil {
-				return res, err
-			}
-			res.Recoveries[lvl-1]++
 		} else {
-			snaps = nil
-			res.FromScratch++
+			// Escalating recovery under injection: walk the hierarchy until
+			// a rung verifies, charging every failed rung's read as
+			// detection latency, with further failures landing inside the
+			// recovery window itself.
+			for recAttempt := 0; ; recAttempt++ {
+				data, outcome, rerr := cluster.RestoreEscalating()
+				for _, at := range outcome.Attempts {
+					rc, cerr := cluster.RecoveryCost(at.Level, perNode)
+					if cerr != nil {
+						return res, cerr
+					}
+					if at.Level == fti.Levels {
+						// Transient PFS read faults on the level-4 rung.
+						elapsed, attempts, ok := retry.Retry(rc, func(attempt int) bool {
+							return plan.PFSReadFails(episode*(maxRecoveryCrashes+1)+recAttempt, attempt)
+						})
+						if !ok {
+							finish()
+							return res, fmt.Errorf("%w: level-4 recovery read failed after %d attempts (transient PFS reads)",
+								ErrReal, attempts)
+						}
+						res.PFSRetries += attempts - 1
+						rc = elapsed
+					}
+					wall += rc
+					if !at.OK {
+						res.DetectionLatency += rc
+					}
+				}
+				if class, ok := plan.RecoveryCrash(episode, recAttempt); ok && recAttempt < maxRecoveryCrashes {
+					// A further failure strikes before the restored state
+					// is handed back: the read bytes are discarded, more
+					// storage dies, and recovery restarts after a new
+					// allocation period.
+					res.RecoveryCrashes++
+					res.Failures[class]++
+					if err := cluster.Crash(victims(class, cfg, rng)); err != nil {
+						return res, err
+					}
+					wall += cfg.Alloc
+					continue
+				}
+				if rerr != nil {
+					// A from-scratch restart is always legitimate before the
+					// first checkpoint ever committed — there is nothing the
+					// hierarchy could have protected yet, so exhaustion there
+					// says nothing about recovery integrity.
+					if errors.Is(rerr, fti.ErrExhausted) && (!cfg.DisableScratch || !cluster.Committed()) {
+						snaps = nil
+						res.FromScratch++
+						break
+					}
+					finish()
+					return res, rerr
+				}
+				snaps = data
+				res.Recoveries[outcome.Level-1]++
+				if outcome.Escalated() {
+					res.Escalations++
+				}
+				break
+			}
 		}
+		episode++
 		nextFail, haveFail = proc.Next(wall)
 	}
 }

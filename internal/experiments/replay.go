@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlckpt/internal/core"
+	"mlckpt/internal/failure"
+	"mlckpt/internal/sim"
+	"mlckpt/internal/stats"
+)
+
+// ReplayResult is one deterministic re-execution of a recorded failure
+// trace against the canonical evaluation scenario.
+type ReplayResult struct {
+	Spec  string
+	Trace int // events in the input trace
+	Res   sim.Result
+}
+
+// Replay runs the canonical evaluation scenario (Te = 3M core-days,
+// 16-12-8-4 hierarchy) at its optimized scale and intervals, but with
+// failures fed from the fixed trace instead of the stochastic process —
+// replaying a recorded run or a real system's failure log. Jitter is
+// disabled, so the wall clock is a pure function of the trace.
+func Replay(trace []failure.Event) (ReplayResult, error) {
+	const spec = "16-12-8-4"
+	out := ReplayResult{Spec: spec, Trace: len(trace)}
+	sc := EvalScenario(3e6, spec)
+	p := sc.Params()
+	opt, err := core.Optimize(p, core.Options{})
+	if err != nil {
+		return out, err
+	}
+	cfg := sim.Config{
+		Params: p, N: opt.N, X: opt.X,
+		MaxWallClock: sc.MaxDays * failure.SecondsPerDay,
+		Replay:       trace,
+		RecordEvents: true,
+	}
+	// The seed is irrelevant in replay mode with zero jitter; any fixed
+	// value yields the identical run.
+	out.Res, err = sim.Run(cfg, stats.NewRNG(1))
+	return out, err
+}
+
+// Render prints the replayed run: summary rows, then the execution trace
+// (capped — a full exascale run takes tens of thousands of checkpoints).
+func (r ReplayResult) Render() string {
+	t := NewTable(fmt.Sprintf("Replay (%s, Te=3m core-days, %d trace events)", r.Spec, r.Trace),
+		"quantity", "value")
+	t.Add("wall clock (days)", fmt.Sprintf("%.3f", r.Res.WallClock/failure.SecondsPerDay))
+	t.Add("failures replayed", fmt.Sprintf("%v", r.Res.Failures))
+	t.Add("checkpoints taken", fmt.Sprintf("%v", r.Res.CheckpointsTaken))
+	t.Add("restart time (s)", fmt.Sprintf("%.1f", r.Res.Restart))
+	t.Add("rollback time (s)", fmt.Sprintf("%.1f", r.Res.Rollback))
+	t.Add("truncated", fmt.Sprintf("%v", r.Res.Truncated))
+	s := t.String()
+	const maxEvents = 40
+	shown := r.Res.Events
+	// Failures and recoveries are the interesting rows of a replay;
+	// checkpoint completions dominate the event count, so they are
+	// filtered out of the listing.
+	var kept []sim.TraceEvent
+	for _, e := range shown {
+		if e.Kind != sim.EvCheckpointDone {
+			kept = append(kept, e)
+		}
+	}
+	for i, e := range kept {
+		if i == maxEvents {
+			s += fmt.Sprintf("  ... %d more events\n", len(kept)-maxEvents)
+			break
+		}
+		s += "  " + e.String() + "\n"
+	}
+	return s
+}

@@ -153,18 +153,26 @@ func NewProcess(r Rates, n float64, dist Distribution, shape float64, rng *stats
 }
 
 func (p *Process) sampleInterarrival(level int) float64 {
-	rate := p.rates.PerSecondAt(level, p.scale)
+	return interarrival(p.rng, p.rates.PerSecondAt(level, p.scale), p.dist, p.shape)
+}
+
+// interarrival samples one interarrival time at the given rate under the
+// chosen distribution. Process and Trace share this single code path so
+// the Weibull mean-matching (scale = mean / Γ(1+1/shape), making the
+// Weibull mean equal the exponential mean at the same rate) cannot drift
+// between the two samplers.
+func interarrival(rng *stats.RNG, rate float64, dist Distribution, shape float64) float64 {
 	if rate <= 0 {
 		return math.Inf(1)
 	}
-	switch p.dist {
+	switch dist {
 	case Weibull:
 		mean := 1 / rate
 		// Weibull mean = scale·Γ(1+1/shape); match means.
-		scale := mean / math.Gamma(1+1/p.shape)
-		return p.rng.Weibull(scale, p.shape)
+		scale := mean / math.Gamma(1+1/shape)
+		return rng.Weibull(scale, shape)
 	default:
-		return p.rng.Exponential(rate)
+		return rng.Exponential(rate)
 	}
 }
 
@@ -208,16 +216,7 @@ func Trace(r Rates, n, horizon float64, dist Distribution, shape float64, rng *s
 		}
 		t := 0.0
 		for {
-			var d float64
-			switch dist {
-			case Weibull:
-				mean := 1 / rate
-				scale := mean / math.Gamma(1+1/shape)
-				d = rng.Weibull(scale, shape)
-			default:
-				d = rng.Exponential(rate)
-			}
-			t += d
+			t += interarrival(rng, rate, dist, shape)
 			if t >= horizon {
 				break
 			}

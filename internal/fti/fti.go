@@ -24,9 +24,11 @@ package fti
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"mlckpt/internal/erasure"
+	"mlckpt/internal/inject"
 	"mlckpt/internal/mpisim"
 	"mlckpt/internal/storage"
 )
@@ -36,6 +38,27 @@ const Levels = 4
 
 // ErrFTI is returned for invalid configurations and unrecoverable states.
 var ErrFTI = errors.New("fti: error")
+
+// ErrCorrupt is returned when a snapshot fails its checksum on restore.
+var ErrCorrupt = errors.New("fti: snapshot corrupt")
+
+// ErrExhausted is returned by RestoreEscalating when every recovery rung
+// failed; the error text names the last rung tried.
+var ErrExhausted = errors.New("fti: recovery exhausted")
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64),
+// used for every snapshot checksum.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Faulter is the injection hook consulted at commit time: it decides
+// whether the snapshot just committed is silently corrupted at rest. A
+// compiled inject.Plan satisfies it; nil disables injection. Identities
+// passed for level-2 partner copies are the owner rank offset by the node
+// count, so a rank's own copy and its partner copy corrupt independently.
+type Faulter interface {
+	SnapshotFault(level, rank, version, size int) (inject.Fault, bool)
+	ParityFault(group, shard, version, size int) (inject.Fault, bool)
+}
 
 // Config parameterizes a Cluster.
 type Config struct {
@@ -52,6 +75,13 @@ func DefaultConfig() Config {
 type snapshot struct {
 	version int
 	data    []byte
+	sum     uint32 // CRC-32C of data at commit time, before any injected corruption
+}
+
+// ok reports whether the snapshot's bytes still match their commit-time
+// checksum — the verify-on-restore primitive.
+func (s snapshot) ok() bool {
+	return crc32.Checksum(s.data, crcTable) == s.sum
 }
 
 // Cluster holds the persistent checkpoint state of a simulated machine: it
@@ -71,7 +101,14 @@ type Cluster struct {
 	rsPar   map[int][]snapshot // level-3 parity shards per group (on group nodes)
 	rsSizes map[int]int        // level-3 padded shard size per group
 	rsLens  map[int][]int      // level-3 original data lengths per group member
+	rsSums  map[int][]uint32   // level-3 content CRCs per group member (replicated metadata)
 	pfs     map[int]snapshot   // level-4: [rank] -> snapshot (off-cluster)
+
+	// injector, when set, corrupts committed snapshots in place (the
+	// checksum keeps the pre-corruption value, so the damage is silent
+	// until a restore verifies). injected counts applied faults.
+	injector Faulter
+	injected int
 
 	// pending gathers one collective checkpoint's per-rank bytes until all
 	// ranks have contributed. The per-rank buffers are reused across
@@ -101,7 +138,7 @@ func reuseSnapshot(old snapshot, v int, src []byte) snapshot {
 		b = b[:len(src)]
 	}
 	copy(b, src)
-	return snapshot{version: v, data: b}
+	return snapshot{version: v, data: b, sum: crc32.Checksum(b, crcTable)}
 }
 
 // NewCluster creates a machine of `nodes` nodes (one rank per node).
@@ -129,6 +166,7 @@ func NewCluster(nodes int, cfg Config) (*Cluster, error) {
 		rsPar:   make(map[int][]snapshot),
 		rsSizes: make(map[int]int),
 		rsLens:  make(map[int][]int),
+		rsSums:  make(map[int][]uint32),
 		pfs:     make(map[int]snapshot),
 	}
 	c.local[0] = make(map[int]snapshot)
@@ -139,6 +177,38 @@ func NewCluster(nodes int, cfg Config) (*Cluster, error) {
 
 // Nodes returns the machine size.
 func (c *Cluster) Nodes() int { return c.nodes }
+
+// SetInjector installs (or, with nil, removes) the fault-injection hook
+// consulted after every commit. Injection must be configured before the
+// run for plans to be reproducible; the hook itself must be deterministic
+// in the (level, rank, version) identity (see inject.Plan).
+func (c *Cluster) SetInjector(f Faulter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.injector = f
+}
+
+// InjectedFaults returns the number of snapshot corruptions applied so far.
+func (c *Cluster) InjectedFaults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// corruptLocked consults the injector for the slot committed at (level,
+// identity, version) and applies any fault to the stored bytes — without
+// touching the checksum, which is what makes the corruption silent until
+// a restore verifies the slot.
+func (c *Cluster) corruptLocked(level, identity int, s snapshot) snapshot {
+	if c.injector == nil {
+		return s
+	}
+	if f, ok := c.injector.SnapshotFault(level, identity, s.version, len(s.data)); ok {
+		s.data = f.Apply(s.data)
+		c.injected++
+	}
+	return s
+}
 
 // PartnerOf returns the partner node of rank i (the next node, wrapping).
 func (c *Cluster) PartnerOf(i int) int { return (i + 1) % c.nodes }
@@ -160,6 +230,16 @@ func (c *Cluster) numGroups() int {
 func (c *Cluster) parityHolder(g, i int) int {
 	host := c.groupRanks((g + 1) % c.numGroups())
 	return host[i%len(host)]
+}
+
+// ParityHolderOf exposes the parity placement to fault injectors: the node
+// storing parity shard i of rank r's encoding group. Correlated crash
+// patterns use it to kill a rank together with the node backing its
+// redundancy.
+func (c *Cluster) ParityHolderOf(r, i int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.parityHolder(c.groupOf(r), i)
 }
 
 // groupRanks returns the ranks in group g, clipped to the machine size.
@@ -263,17 +343,19 @@ func (c *Cluster) commitLocked(level int, data [][]byte) error {
 	switch level {
 	case 1:
 		for rank, d := range data {
-			c.local[0][rank] = reuseSnapshot(c.local[0][rank], v, d)
+			c.local[0][rank] = c.corruptLocked(1, rank, reuseSnapshot(c.local[0][rank], v, d))
 		}
 	case 2:
 		for rank, d := range data {
-			c.local[0][rank] = reuseSnapshot(c.local[0][rank], v, d)
+			c.local[0][rank] = c.corruptLocked(2, rank, reuseSnapshot(c.local[0][rank], v, d))
 			p := c.PartnerOf(rank)
-			c.partner[0][p] = reuseSnapshot(c.partner[0][p], v, d)
+			// The partner copy corrupts independently of the owner's own
+			// copy: its injection identity is the owner rank + node count.
+			c.partner[0][p] = c.corruptLocked(2, rank+c.nodes, reuseSnapshot(c.partner[0][p], v, d))
 		}
 	case 3:
 		for rank, d := range data {
-			c.rsData[0][rank] = reuseSnapshot(c.rsData[0][rank], v, d)
+			c.rsData[0][rank] = c.corruptLocked(3, rank, reuseSnapshot(c.rsData[0][rank], v, d))
 		}
 		// Encode each group with real Reed–Solomon parity, reusing the
 		// cluster's padded-shard scratch and each group's previous parity
@@ -320,7 +402,13 @@ func (c *Cluster) commitLocked(level int, data [][]byte) error {
 				return err
 			}
 			for i := range par {
-				par[i] = snapshot{version: v, data: parity[i]}
+				par[i] = snapshot{version: v, data: parity[i], sum: crc32.Checksum(parity[i], crcTable)}
+				if c.injector != nil {
+					if f, ok := c.injector.ParityFault(g, i, v, len(par[i].data)); ok {
+						par[i].data = f.Apply(par[i].data)
+						c.injected++
+					}
+				}
 			}
 			c.rsPar[g] = par
 			c.rsSizes[g] = size
@@ -328,14 +416,24 @@ func (c *Cluster) commitLocked(level int, data [][]byte) error {
 			if len(lens) != len(ranks) {
 				lens = make([]int, len(ranks))
 			}
+			sums := c.rsSums[g]
+			if len(sums) != len(ranks) {
+				sums = make([]uint32, len(ranks))
+			}
+			// Content CRCs per member live in the group's replicated
+			// metadata (small, mirrored like FTI's topology files), so a
+			// reconstructed shard can be verified even though the original
+			// holder — and its checksum — died with the crash.
 			for idx, r := range ranks {
 				lens[idx] = len(rankData(data, r))
+				sums[idx] = crc32.Checksum(rankData(data, r), crcTable)
 			}
 			c.rsLens[g] = lens
+			c.rsSums[g] = sums
 		}
 	case 4:
 		for rank, d := range data {
-			c.pfs[rank] = reuseSnapshot(c.pfs[rank], v, d)
+			c.pfs[rank] = c.corruptLocked(4, rank, reuseSnapshot(c.pfs[rank], v, d))
 		}
 	}
 	return nil
@@ -381,6 +479,16 @@ type RecoveryState struct {
 	Level     int
 	Version   int
 	Available bool
+}
+
+// Committed reports whether any checkpoint has ever committed at any
+// level. The version counter is monotone — crashes and corruption never
+// roll it back — so this distinguishes "nothing to protect yet" from
+// "the hierarchy lost everything it held".
+func (c *Cluster) Committed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version > 0
 }
 
 // Survey reports recoverability of each level's newest checkpoint.
@@ -501,27 +609,49 @@ func (c *Cluster) completeVersion(m map[int]snapshot) (int, bool) {
 }
 
 // Restore reconstructs every rank's protected bytes from the newest
-// checkpoint at the given level. For level 3 it performs real Reed–Solomon
-// reconstruction of any missing shards. The returned slice is indexed by
-// rank.
+// checkpoint at the given level, verifying every snapshot read against
+// its commit-time checksum. For level 3 it performs real Reed–Solomon
+// reconstruction of any missing or corrupt shards. The returned slice is
+// indexed by rank. A checksum mismatch that cannot be healed within the
+// level returns an error wrapping ErrCorrupt; callers wanting automatic
+// fall-through to the next rung use RestoreEscalating.
 func (c *Cluster) Restore(level int) ([][]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.recoverableLocked(level); !ok {
+	return c.restoreLocked(level)
+}
+
+func (c *Cluster) restoreLocked(level int) ([][]byte, error) {
+	v, ok := c.recoverableLocked(level)
+	if !ok {
 		return nil, fmt.Errorf("%w: level %d not recoverable", ErrFTI, level)
 	}
 	out := make([][]byte, c.nodes)
 	switch level {
 	case 1:
 		for rank := 0; rank < c.nodes; rank++ {
-			out[rank] = append([]byte(nil), c.local[0][rank].data...)
+			s := c.local[0][rank]
+			if !s.ok() {
+				return nil, fmt.Errorf("%w: level 1 rank %d (version %d)", ErrCorrupt, rank, s.version)
+			}
+			out[rank] = append([]byte(nil), s.data...)
 		}
 	case 2:
+		// Within-level escalation: a rank's own copy falls through to the
+		// partner copy when missing, stale, or corrupt. Both copies must be
+		// at the rung's single complete version v — restoring whatever each
+		// rank happens to hold would resume ranks at different iterations,
+		// which desynchronizes every subsequent collective.
 		for rank := 0; rank < c.nodes; rank++ {
-			if s, ok := c.local[0][rank]; ok {
-				out[rank] = append([]byte(nil), s.data...)
-			} else {
-				out[rank] = append([]byte(nil), c.partner[0][c.PartnerOf(rank)].data...)
+			own, okOwn := c.local[0][rank]
+			cp, okCp := c.partner[0][c.PartnerOf(rank)]
+			switch {
+			case okOwn && own.version == v && own.ok():
+				out[rank] = append([]byte(nil), own.data...)
+			case okCp && cp.version == v && cp.ok():
+				out[rank] = append([]byte(nil), cp.data...)
+			default:
+				return nil, fmt.Errorf("%w: level 2 rank %d (no intact copy at version %d)", ErrCorrupt, rank, v)
 			}
 		}
 	case 3:
@@ -530,46 +660,146 @@ func (c *Cluster) Restore(level int) ([][]byte, error) {
 			ranks := c.groupRanks(g)
 			size := c.rsSizes[g]
 			shards := make([][]byte, c.cfg.GroupSize+c.cfg.Parity)
+			present := 0
 			for idx := 0; idx < c.cfg.GroupSize; idx++ {
 				if idx < len(ranks) {
-					if s, ok := c.rsData[0][ranks[idx]]; ok {
+					// A shard that fails its checksum is treated as an
+					// erasure: Reed–Solomon can rebuild it as long as the
+					// group still holds k intact shards.
+					if s, ok := c.rsData[0][ranks[idx]]; ok && s.ok() {
 						padded := make([]byte, size)
 						copy(padded, s.data)
 						shards[idx] = padded
+						present++
 					}
 				} else {
 					shards[idx] = make([]byte, size) // implicit zero padding shard
+					present++
 				}
 			}
 			for i, p := range c.rsPar[g] {
-				if p.data != nil {
+				if p.data != nil && p.ok() {
 					// Present shards are read-only inputs to Reconstruct, so
 					// the stored parity can be passed without a copy; only
 					// rebuilt (nil) slots get fresh buffers, and Restore
 					// returns none of the parity slots.
 					shards[c.cfg.GroupSize+i] = p.data
+					present++
 				}
+			}
+			if present < c.cfg.GroupSize {
+				return nil, fmt.Errorf("%w: level 3 group %d holds %d of %d intact shards",
+					ErrCorrupt, g, present, c.cfg.GroupSize)
 			}
 			if err := c.code.Reconstruct(shards); err != nil {
 				return nil, err
 			}
 			lens := c.rsLens[g]
+			sums := c.rsSums[g]
 			for idx, r := range ranks {
-				out[r] = shards[idx][:lens[idx]]
+				data := shards[idx][:lens[idx]]
+				if idx < len(sums) && crc32.Checksum(data, crcTable) != sums[idx] {
+					return nil, fmt.Errorf("%w: level 3 rank %d failed post-reconstruction verify", ErrCorrupt, r)
+				}
+				out[r] = data
 			}
 		}
 	case 4:
 		for rank := 0; rank < c.nodes; rank++ {
-			out[rank] = append([]byte(nil), c.pfs[rank].data...)
+			s := c.pfs[rank]
+			if !s.ok() {
+				return nil, fmt.Errorf("%w: level 4 rank %d (version %d)", ErrCorrupt, rank, s.version)
+			}
+			out[rank] = append([]byte(nil), s.data...)
 		}
 	}
 	return out, nil
+}
+
+// RecoveryAttempt records one rung tried during an escalating restore.
+type RecoveryAttempt struct {
+	Level   int    // rung tried (1–4)
+	Version int    // checkpoint version the rung held
+	OK      bool   // whether the rung restored and verified
+	Reason  string // failure detail when !OK
+}
+
+// RecoveryOutcome describes how an escalating restore resolved: every
+// rung attempted in order, and the rung/version that finally held (Level
+// 0 when nothing did).
+type RecoveryOutcome struct {
+	Attempts []RecoveryAttempt
+	Level    int // rung that held; 0 = recovery exhausted
+	Version  int
+}
+
+// Escalated reports whether at least one rung failed before one held.
+func (o RecoveryOutcome) Escalated() bool {
+	return len(o.Attempts) > 1 && o.Level != 0
+}
+
+// RestoreEscalating walks the recovery hierarchy until a rung restores
+// and verifies: candidates are every structurally available level,
+// preferred by newest version first and cheapest level on ties — the same
+// preference BestRecovery encodes — and a rung that fails verification
+// (corrupted or incomplete snapshots) falls through to the next instead
+// of trusting the survey. The outcome records each attempt, which is what
+// prices detection latency: the caller charges every failed rung's
+// recovery cost before the one that held. When all rungs fail the error
+// wraps ErrExhausted and names the last rung tried; the caller decides
+// whether a from-scratch restart is acceptable.
+func (c *Cluster) RestoreEscalating() ([][]byte, RecoveryOutcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type candidate struct{ level, version int }
+	var cands []candidate
+	for lvl := 1; lvl <= Levels; lvl++ {
+		if v, ok := c.recoverableLocked(lvl); ok {
+			cands = append(cands, candidate{lvl, v})
+		}
+	}
+	// Newest version first; cheapest (lowest) level on equal versions.
+	// Insertion sort: Levels is 4.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			if b.version > a.version || (b.version == a.version && b.level < a.level) {
+				cands[j-1], cands[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	var out RecoveryOutcome
+	for _, cand := range cands {
+		data, err := c.restoreLocked(cand.level)
+		if err == nil {
+			out.Attempts = append(out.Attempts, RecoveryAttempt{Level: cand.level, Version: cand.version, OK: true})
+			out.Level, out.Version = cand.level, cand.version
+			return data, out, nil
+		}
+		out.Attempts = append(out.Attempts, RecoveryAttempt{
+			Level: cand.level, Version: cand.version, Reason: err.Error(),
+		})
+	}
+	last := 0
+	if n := len(out.Attempts); n > 0 {
+		last = out.Attempts[n-1].Level
+	}
+	return nil, out, fmt.Errorf("%w: %d rungs tried, last rung %d", ErrExhausted, len(out.Attempts), last)
 }
 
 // RecoveryCost returns the per-node virtual-time cost of restoring from
 // the given level with perNode bytes.
 func (c *Cluster) RecoveryCost(level, perNode int) (float64, error) {
 	return c.cfg.Hierarchy.RecoveryTime(level, perNode, c.nodes, c.cfg.GroupSize)
+}
+
+// CheckpointCost returns the per-node virtual-time cost of a checkpoint at
+// the given level with perNode bytes — what an aborted write wastes pro
+// rata when a failure lands inside the checkpoint window.
+func (c *Cluster) CheckpointCost(level, perNode int) (float64, error) {
+	return c.cfg.Hierarchy.CheckpointTime(level, perNode, c.nodes, c.cfg.GroupSize)
 }
 
 func maxInt(a, b int) int {

@@ -17,6 +17,10 @@ var ModelPackages = []string{
 	"internal/experiments",
 	"internal/model",
 	"internal/stats",
+	// The fault-injection plan must be a pure function of (seed, identity
+	// key): any ambient randomness or clock would break the byte-level
+	// reproducibility the chaos grid asserts (docs/FAULTS.md).
+	"internal/inject",
 }
 
 // bannedCalls maps import path -> function name -> remedy note. An empty

@@ -11,7 +11,7 @@ func (r *Rank) Reduce(root int, op ReduceOp, data []float64) []float64 {
 	}
 	local := append([]float64(nil), data...)
 	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data))
-	out := r.collective("reduce", local, func(entries []float64, payloads []any) (any, float64) {
+	out := r.collective(collReduce, local, func(entries []float64, payloads []any) (any, float64) {
 		acc := append([]float64(nil), payloads[0].([]float64)...)
 		for i := 1; i < len(payloads); i++ {
 			v := payloads[i].([]float64)
@@ -63,7 +63,7 @@ func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
 	// and per-rank argument sizes may differ. Virtual time has to be a
 	// pure function of the communicated data, never of goroutine order.
 	rt := r.rt
-	out := r.collective("scatter", payload, func(entries []float64, payloads []any) (any, float64) {
+	out := r.collective(collScatter, payload, func(entries []float64, payloads []any) (any, float64) {
 		total := 0
 		for _, c := range payloads[root].([][]byte) {
 			total += len(c)

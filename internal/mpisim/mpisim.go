@@ -69,11 +69,30 @@ type mailKey struct {
 	src, dst, tag int
 }
 
+// collKind indexes the fixed set of collective operations. Using a dense
+// enum (rather than the operation name) lets each rank keep its per-kind
+// sequence counters in a flat array instead of a map, which is what keeps
+// world spawn at O(ranks) small allocations.
+type collKind uint8
+
+// Collective kinds, in span-name order (see collNames).
+const (
+	collBarrier collKind = iota
+	collBcast
+	collAllreduce
+	collGather
+	collReduce
+	collScatter
+	numCollKinds
+)
+
+var collNames = [numCollKinds]string{"barrier", "bcast", "allreduce", "gather", "reduce", "scatter"}
+
 // collKey names one instance of a collective: the operation kind plus the
 // per-rank sequence number. A comparable struct (rather than a formatted
 // string) keeps the per-rank hot path allocation-free.
 type collKey struct {
-	kind string
+	kind collKind
 	seq  int
 }
 
@@ -97,7 +116,7 @@ type Runtime struct {
 	mu    sync.Mutex
 	mail  map[mailKey]chan message
 	colls map[collKey]*collOp
-	ranks []*Rank
+	ranks []Rank // contiguous slab; rank i is &ranks[i]
 
 	// bufPool recycles message payload buffers: Send copies into a pooled
 	// buffer and RecvInto returns it to the pool after copying out, so the
@@ -127,7 +146,7 @@ type Rank struct {
 	id    int
 	rt    *Runtime
 	clock float64
-	seq   map[string]int // per-kind collective sequence numbers
+	seq   [numCollKinds]int // per-kind collective sequence numbers
 }
 
 // Run executes fn as size concurrent ranks and returns the wall-clock time
@@ -158,9 +177,10 @@ func RunObserved(size int, cost CostModel, fn func(*Rank), rec obs.Recorder, tra
 		colls: make(map[collKey]*collOp),
 		abort: make(chan struct{}),
 	}
-	rt.ranks = make([]*Rank, size)
+	rt.ranks = make([]Rank, size)
 	for i := range rt.ranks {
-		rt.ranks[i] = &Rank{id: i, rt: rt, seq: make(map[string]int)}
+		rt.ranks[i].id = i
+		rt.ranks[i].rt = rt
 	}
 	var wg sync.WaitGroup
 	panics := make([]any, size)
@@ -175,7 +195,7 @@ func RunObserved(size int, cost CostModel, fn func(*Rank), rec obs.Recorder, tra
 				}
 			}()
 			fn(r)
-		}(rt.ranks[i])
+		}(&rt.ranks[i])
 	}
 	wg.Wait()
 	for id, p := range panics {
@@ -191,9 +211,9 @@ func RunObserved(size int, cost CostModel, fn func(*Rank), rec obs.Recorder, tra
 		}
 	}
 	wall := 0.0
-	for _, r := range rt.ranks {
-		if r.clock > wall {
-			wall = r.clock
+	for i := range rt.ranks {
+		if c := rt.ranks[i].clock; c > wall {
+			wall = c
 		}
 	}
 	rt.rec.Count("mpisim.runs", 1)
@@ -363,7 +383,7 @@ func (r *Rank) Waitall(reqs []*Request) {
 // collective synchronizes all ranks on a named operation. compute runs once
 // (on the last arriver) over the gathered payloads and entry clocks and
 // returns (result, exitClock).
-func (r *Rank) collective(kind string, payload any,
+func (r *Rank) collective(kind collKind, payload any,
 	compute func(entries []float64, payloads []any) (any, float64)) any {
 
 	rt := r.rt
@@ -394,7 +414,7 @@ func (r *Rank) collective(kind string, payload any,
 		rt.rec.Count("mpisim.collectives", 1)
 		if rt.track != "" {
 			entry := minOf(op.entries)
-			rt.rec.Span(rt.track, kind, entry, op.exit-entry, map[string]float64{
+			rt.rec.Span(rt.track, collNames[kind], entry, op.exit-entry, map[string]float64{
 				"seq": float64(seq),
 			})
 		}
@@ -415,7 +435,7 @@ func (r *Rank) collective(kind string, payload any,
 // latest participant plus a tree latency.
 func (r *Rank) Barrier() {
 	cost := r.rt.cost.treeCost(r.rt.size, 0)
-	r.collective("barrier", nil, func(entries []float64, _ []any) (any, float64) {
+	r.collective(collBarrier, nil, func(entries []float64, _ []any) (any, float64) {
 		return nil, maxOf(entries) + cost
 	})
 }
@@ -434,7 +454,7 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 	// nil or differently-sized buffers. Virtual time has to be a pure
 	// function of the communicated data, never of goroutine order.
 	rt := r.rt
-	out := r.collective("bcast", payload, func(entries []float64, payloads []any) (any, float64) {
+	out := r.collective(collBcast, payload, func(entries []float64, payloads []any) (any, float64) {
 		n := 0
 		if b, ok := payloads[root].([]byte); ok {
 			n = len(b)
@@ -465,7 +485,7 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	// caller can mutate its argument while another rank's closure reads
 	// it. (The reduced vector is a fresh allocation shared by all ranks.)
 	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data)) * 2 // reduce + broadcast phases
-	out := r.collective("allreduce", data, func(entries []float64, payloads []any) (any, float64) {
+	out := r.collective(collAllreduce, data, func(entries []float64, payloads []any) (any, float64) {
 		acc := append([]float64(nil), payloads[0].([]float64)...)
 		for i := 1; i < len(payloads); i++ {
 			v := payloads[i].([]float64)
@@ -502,7 +522,7 @@ func (r *Rank) Gather(data []byte) [][]byte {
 	// any single caller's argument. Virtual time has to be a pure function
 	// of the communicated data, never of goroutine order.
 	rt := r.rt
-	out := r.collective("gather", payload, func(entries []float64, payloads []any) (any, float64) {
+	out := r.collective(collGather, payload, func(entries []float64, payloads []any) (any, float64) {
 		all := make([][]byte, len(payloads))
 		total := 0
 		for i, p := range payloads {

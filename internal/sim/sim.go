@@ -65,6 +65,18 @@ type Config struct {
 	DisableFailuresDuringCkpt     bool
 	DisableFailuresDuringRecovery bool
 
+	// SilentCorruptionProb, when positive, silently corrupts each completed
+	// checkpoint with this probability: the corruption is invisible until a
+	// rollback tries to restore from the file, at which point verify-on-
+	// restore rejects it, the run pays that level's recovery cost as
+	// detection latency, and recovery escalates to the next-best intact
+	// checkpoint (possibly from scratch). This is the simulator counterpart
+	// of the fault-injection harness in internal/inject: silent errors are
+	// a failure class the analytic model cannot see, because their cost is
+	// only realized on the recovery path. Zero (the default) draws no RNG
+	// values, so existing seeded runs are byte-identical.
+	SilentCorruptionProb float64
+
 	// CorrelationWindow, when positive, merges failures of class ≤ c that
 	// arrive within this many seconds of a class-c failure into that
 	// event: they are counted as absorbed and trigger no additional
@@ -124,6 +136,9 @@ func (c *Config) Validate() error {
 	if c.JitterRatio < 0 || c.JitterRatio >= 1 {
 		return fmt.Errorf("%w: jitter ratio %g", ErrConfig, c.JitterRatio)
 	}
+	if c.SilentCorruptionProb < 0 || c.SilentCorruptionProb > 1 {
+		return fmt.Errorf("%w: silent corruption probability %g", ErrConfig, c.SilentCorruptionProb)
+	}
 	return nil
 }
 
@@ -139,6 +154,8 @@ type Result struct {
 	Failures         []int // failures observed per level class
 	CheckpointsTaken []int // completed checkpoints per level (incl. re-taken)
 	Absorbed         int   // failures merged into a correlated window
+	SilentCorrupted  int   // checkpoints silently corrupted at completion
+	SilentDetected   int   // corruptions caught by verify-on-restore (each cost detection latency)
 	Truncated        bool  // MaxWallClock hit before completion
 
 	Events []TraceEvent // populated when Config.RecordEvents is set
@@ -206,6 +223,14 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 	furthestCkpt := floats[2*L : 3*L] // furthest progress ever checkpointed per level
 	for i := range furthestCkpt {
 		furthestCkpt[i] = -1
+	}
+
+	// corrupt[i] marks the newest level-i checkpoint as silently damaged.
+	// Allocated (and RNG consulted) only when the silent-error class is
+	// enabled, so default-config runs keep their exact draw sequence.
+	var corrupt []bool
+	if cfg.SilentCorruptionProb > 0 {
+		corrupt = make([]bool, L)
 	}
 
 	// Failure source: a stochastic process by default, or a fixed replay
@@ -307,6 +332,36 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 	// returns the level restored from — the cheapest level holding the
 	// restore point — or -1 when execution restarts from scratch.
 	strike := func(c int) int {
+		// Verify-on-restore: reject corrupted checkpoints before trusting
+		// the restore point. Each rejection pays the rejected level's
+		// recovery cost as detection latency (the read that found the bad
+		// checksum) and escalates to the next-best intact file — the sim
+		// counterpart of fti.RestoreEscalating.
+		if corrupt != nil {
+			for {
+				best, q := -1, 0.0
+				for i := c; i < L; i++ {
+					if lastCkpt[i] > q {
+						best, q = i, lastCkpt[i]
+					}
+				}
+				if best < 0 || !corrupt[best] {
+					break
+				}
+				pen := rng.Jitter(p.Levels[best].Recovery.At(n), cfg.JitterRatio)
+				wall += pen
+				res.Restart += pen
+				res.SilentDetected++
+				lastCkpt[best] = 0
+				corrupt[best] = false
+				record(EvSilentDetect, best)
+				if tracing() {
+					rec.Instant(cfg.ObsTrack, "silent-detect", wall, map[string]float64{
+						"level": float64(best + 1),
+					})
+				}
+			}
+		}
 		q := 0.0
 		for i := c; i < L; i++ {
 			if lastCkpt[i] > q {
@@ -315,6 +370,9 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 		}
 		for i := 0; i < c; i++ {
 			lastCkpt[i] = 0
+			if corrupt != nil {
+				corrupt[i] = false
+			}
 		}
 		if q < progress {
 			progress = q
@@ -499,6 +557,13 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 		record(EvCheckpointDone, dueLevel)
 		res.CheckpointsTaken[dueLevel]++
 		lastCkpt[dueLevel] = progress
+		if corrupt != nil {
+			bad := rng.Float64() < cfg.SilentCorruptionProb
+			corrupt[dueLevel] = bad
+			if bad {
+				res.SilentCorrupted++
+			}
+		}
 		if progress > furthestCkpt[dueLevel] {
 			furthestCkpt[dueLevel] = progress
 		}
@@ -525,6 +590,12 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 		ckpts += v
 	}
 	rec.Count("sim.checkpoints", int64(ckpts))
+	if res.SilentCorrupted > 0 {
+		rec.Count("sim.silent_corrupted", int64(res.SilentCorrupted))
+	}
+	if res.SilentDetected > 0 {
+		rec.Count("sim.silent_detected", int64(res.SilentDetected))
+	}
 	if res.Truncated {
 		rec.Count("sim.truncated", 1)
 	}

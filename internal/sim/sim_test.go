@@ -396,3 +396,77 @@ func TestEfficiencyMetric(t *testing.T) {
 		t.Errorf("efficiency = %g, want %g", got, want)
 	}
 }
+
+func TestSilentErrorsDetectedAndPaid(t *testing.T) {
+	// Every checkpoint corrupted: every rollback must reject at least one
+	// file, pay detection latency, and still finish (scratch restarts are
+	// always possible).
+	cfg := testConfig("4-3-2-1", 5000, []float64{40, 20, 10, 5})
+	cfg.SilentCorruptionProb = 1
+	res, err := Run(cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("run truncated")
+	}
+	if res.SilentCorrupted == 0 {
+		t.Fatal("prob-1 corruption injected nothing")
+	}
+	if res.TotalFailures() > 0 && res.SilentDetected == 0 {
+		t.Error("failures struck but no corruption was ever detected at restore")
+	}
+	if res.SilentDetected > res.SilentCorrupted {
+		t.Errorf("detected %d > corrupted %d", res.SilentDetected, res.SilentCorrupted)
+	}
+
+	// The same seed without corruption must be cheaper: detection latency
+	// and deeper rollbacks only add time.
+	clean := cfg
+	clean.SilentCorruptionProb = 0
+	cres, err := Run(clean, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFailures() > 0 && res.WallClock <= cres.WallClock {
+		t.Errorf("corrupted run wall %g not above clean %g", res.WallClock, cres.WallClock)
+	}
+	if cres.SilentCorrupted != 0 || cres.SilentDetected != 0 {
+		t.Errorf("clean run reported silent errors: %+v", cres)
+	}
+}
+
+func TestSilentErrorConfigGuards(t *testing.T) {
+	cfg := testConfig("4-3-2-1", 5000, []float64{40, 20, 10, 5})
+	cfg.SilentCorruptionProb = -0.1
+	if _, err := Run(cfg, stats.NewRNG(1)); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative prob: %v", err)
+	}
+	cfg.SilentCorruptionProb = 1.5
+	if _, err := Run(cfg, stats.NewRNG(1)); !errors.Is(err, ErrConfig) {
+		t.Errorf("prob > 1: %v", err)
+	}
+	cfg.SilentCorruptionProb = 0.5
+	if _, err := RunTicks(cfg, 1, stats.NewRNG(1)); !errors.Is(err, ErrConfig) {
+		t.Errorf("RunTicks with silent errors: %v", err)
+	}
+}
+
+// TestSilentErrorsZeroProbIdentical pins the golden-stability guarantee:
+// enabling the feature at rate zero changes nothing.
+func TestSilentErrorsZeroProbIdentical(t *testing.T) {
+	cfg := testConfig("4-3-2-1", 8000, []float64{30, 15, 8, 4})
+	a, err := Run(cfg, stats.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SilentCorruptionProb = 0
+	b, err := Run(cfg, stats.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:allow floateq identical seeded runs must agree bit-for-bit
+	if a.WallClock != b.WallClock || a.TotalFailures() != b.TotalFailures() {
+		t.Errorf("zero-prob run diverged: %+v vs %+v", a, b)
+	}
+}

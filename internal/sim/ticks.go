@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"mlckpt/internal/failure"
@@ -18,6 +19,12 @@ import (
 func RunTicks(cfg Config, tick float64, rng *stats.RNG) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.SilentCorruptionProb > 0 {
+		// The tick twin exists only for the event-vs-tick equivalence
+		// ablation, which predates the silent-error class; fail loudly
+		// rather than silently dropping injected corruption.
+		return Result{}, fmt.Errorf("%w: RunTicks does not support silent-error injection", ErrConfig)
 	}
 	if tick <= 0 {
 		tick = 1

@@ -130,6 +130,73 @@ func (h Hierarchy) CheckpointTime(level int, perNode, nodes, groupSize int) (flo
 	}
 }
 
+// RetryPolicy bounds retry-with-deterministic-backoff on transient PFS
+// faults. Delays are fixed by the policy (exponential, not jittered), so
+// the virtual-time cost of a faulty operation is a pure function of the
+// fault plan — retries show up in wall-clock results identically at any
+// worker count.
+type RetryPolicy struct {
+	MaxRetries int     // retries after the first attempt; 0 disables retrying
+	Base       float64 // delay before the first retry, seconds
+	Factor     float64 // multiplier applied to each subsequent delay
+}
+
+// DefaultRetryPolicy retries three times with 0.5s/1s/2s backoff —
+// enough to ride out the transient PFS hiccups the fault plans inject
+// without hiding a persistently failing file system.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Base: 0.5, Factor: 2}
+}
+
+// Validate checks the policy parameters.
+func (p RetryPolicy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("%w: %d retries", ErrStorage, p.MaxRetries)
+	}
+	if p.Base < 0 || (p.MaxRetries > 0 && p.Factor < 1 && p.Factor != 0) {
+		return fmt.Errorf("%w: backoff base %g factor %g", ErrStorage, p.Base, p.Factor)
+	}
+	return nil
+}
+
+// Backoff returns the delay in seconds before retry `retry` (0-based).
+func (p RetryPolicy) Backoff(retry int) float64 {
+	if retry < 0 {
+		return 0
+	}
+	d := p.Base
+	factor := p.Factor
+	if factor == 0 {
+		factor = 1
+	}
+	for i := 0; i < retry; i++ {
+		d *= factor
+	}
+	return d
+}
+
+// Retry prices a faulty operation on the virtual clock: the operation
+// costs attemptCost seconds per try, and shouldFail(attempt) decides
+// (deterministically, from the fault plan) whether try `attempt` fails
+// transiently. It returns the total elapsed virtual time (every attempt's
+// cost plus the backoff delays between them), the number of attempts
+// made, and whether the operation ultimately succeeded within the retry
+// budget. The elapsed time of a failed operation still counts — the
+// caller charged the wall clock for work the PFS threw away.
+func (p RetryPolicy) Retry(attemptCost float64, shouldFail func(attempt int) bool) (elapsed float64, attempts int, ok bool) {
+	for attempt := 0; ; attempt++ {
+		attempts++
+		elapsed += attemptCost
+		if !shouldFail(attempt) {
+			return elapsed, attempts, true
+		}
+		if attempt >= p.MaxRetries {
+			return elapsed, attempts, false
+		}
+		elapsed += p.Backoff(attempt)
+	}
+}
+
 // RecoveryTime returns the per-node duration of restoring a checkpoint of
 // the given level.
 func (h Hierarchy) RecoveryTime(level int, perNode, nodes, groupSize int) (float64, error) {

@@ -143,3 +143,64 @@ func TestEncodeGroupSizeEffect(t *testing.T) {
 		t.Error("degenerate group mishandled")
 	}
 }
+
+func TestRetryPolicyValidate(t *testing.T) {
+	if err := DefaultRetryPolicy().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if err := (RetryPolicy{}).Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	if err := (RetryPolicy{MaxRetries: -1}).Validate(); !errors.Is(err, ErrStorage) {
+		t.Errorf("negative retries: %v", err)
+	}
+	if err := (RetryPolicy{MaxRetries: 2, Base: -1}).Validate(); !errors.Is(err, ErrStorage) {
+		t.Errorf("negative base: %v", err)
+	}
+	if err := (RetryPolicy{MaxRetries: 2, Base: 1, Factor: 0.5}).Validate(); !errors.Is(err, ErrStorage) {
+		t.Errorf("shrinking factor: %v", err)
+	}
+}
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 3, Base: 0.5, Factor: 2}
+	want := []float64{0.5, 1, 2}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %g, want %g", i, got, w)
+		}
+	}
+	if got := p.Backoff(-1); got != 0 {
+		t.Errorf("Backoff(-1) = %g", got)
+	}
+}
+
+func TestRetryPricing(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 3, Base: 0.5, Factor: 2}
+
+	// Immediate success: one attempt, no backoff.
+	elapsed, attempts, ok := p.Retry(2, func(int) bool { return false })
+	if !ok || attempts != 1 || elapsed != 2 {
+		t.Fatalf("clean op: elapsed=%g attempts=%d ok=%v", elapsed, attempts, ok)
+	}
+
+	// Two transient failures: 3 attempts, backoffs 0.5 + 1.
+	fails := 2
+	elapsed, attempts, ok = p.Retry(2, func(a int) bool { return a < fails })
+	if !ok || attempts != 3 || elapsed != 3*2+0.5+1 {
+		t.Fatalf("2 transients: elapsed=%g attempts=%d ok=%v", elapsed, attempts, ok)
+	}
+
+	// Persistent failure: budget exhausted, all attempts + interior
+	// backoffs charged, ok=false.
+	elapsed, attempts, ok = p.Retry(2, func(int) bool { return true })
+	if ok || attempts != 4 || elapsed != 4*2+0.5+1+2 {
+		t.Fatalf("persistent: elapsed=%g attempts=%d ok=%v", elapsed, attempts, ok)
+	}
+
+	// Zero-retry policy gives up after the first failure.
+	elapsed, attempts, ok = (RetryPolicy{}).Retry(1, func(int) bool { return true })
+	if ok || attempts != 1 || elapsed != 1 {
+		t.Fatalf("no-retry: elapsed=%g attempts=%d ok=%v", elapsed, attempts, ok)
+	}
+}
