@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/inject"
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/stats"
+)
+
+// These tests pin the scheduler rewrite's contract at the top of the
+// stack: the chaos harness (docs/FAULTS.md) must be *schedule*-independent,
+// not just worker-count-independent. Every injection decision is keyed on
+// content (plan seed, attempt ordinal, rank), never on execution order, so
+// swapping the entire execution engine under the real-run driver — the
+// cooperative event scheduler vs the preemptive goroutine runtime — must
+// change nothing observable: same digests, same failure counts, same
+// escalations, same loud errors.
+
+// runBothEngines executes one RealConfig under both engines and asserts
+// deep-equal results (or identical loud errors).
+func runBothEngines(t *testing.T, label string, cfg RealConfig) {
+	t.Helper()
+	ev := cfg
+	ev.Engine = mpisim.EventEngine
+	evRes, evErr := RunReal(ev)
+
+	or := cfg
+	or.Engine = mpisim.GoroutineEngine
+	orRes, orErr := RunReal(or)
+
+	if (evErr == nil) != (orErr == nil) || (evErr != nil && evErr.Error() != orErr.Error()) {
+		t.Fatalf("%s: error mismatch:\nevent:     %v\ngoroutine: %v", label, evErr, orErr)
+	}
+	if !reflect.DeepEqual(evRes, orRes) {
+		t.Fatalf("%s: result mismatch:\nevent:     %+v\ngoroutine: %+v", label, evRes, orRes)
+	}
+}
+
+// TestChaosEngineIndependence replays every ChaosGrid cell — same per-cell
+// seeds and fault plans as chaosGridSeeded draws them — on both engines.
+func TestChaosEngineIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid on both engines is seconds-long")
+	}
+	const ranks = 16
+	corrupts := []float64{0, 0.02, 0.1, 0.4}
+	correlates := []float64{0, 0.5}
+
+	rng := stats.NewRNG(chaosRootSeed)
+	goldenSeed := rng.Uint64()
+	seeds := make([]uint64, len(corrupts)*len(correlates))
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+
+	goldenCfg := chaosConfig(ranks, goldenSeed)
+	goldenCfg.Rates = failure.MustParseRates("0-0-0-0", float64(ranks))
+	goldenCfg.Inject = inject.MustCompile(inject.Spec{}, chaosRootSeed, "chaos/golden")
+	runBothEngines(t, "golden", goldenCfg)
+
+	ci := 0
+	for _, corrupt := range corrupts {
+		for _, correlate := range correlates {
+			key := fmt.Sprintf("chaos/c%g-r%g", corrupt, correlate)
+			cfg := chaosConfig(ranks, seeds[ci])
+			cfg.Inject = inject.MustCompile(chaosSpec(corrupt, correlate), chaosRootSeed, key)
+			ci++
+			runBothEngines(t, key, cfg)
+		}
+	}
+}
+
+// TestInjectSweepEngineIndependence drives 50 randomly drawn fault plans
+// through the real-run driver on both engines. A shorter heat run than the
+// chaos grid keeps the sweep in CI budget while still crossing checkpoint,
+// recovery, and PFS-retry windows.
+func TestInjectSweepEngineIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plan sweep on both engines is seconds-long")
+	}
+	base := chaosConfig(16, 7)
+	base.Heat.Iterations = 150
+	base.MaxWall = 150
+
+	rng := stats.NewRNG(0xE9519E)
+	const plans = 50
+	for i := 0; i < plans; i++ {
+		c := rng.Float64() * rng.Float64()
+		spec := inject.Spec{
+			CorruptRate:       []float64{c, c, c, c},
+			TruncateFrac:      0.5 * rng.Float64(),
+			PartnerPairRate:   rng.Float64() * rng.Float64(),
+			ParityHolderRate:  rng.Float64() * rng.Float64(),
+			CkptAbortRate:     0.2 * rng.Float64(),
+			RecoveryCrashRate: 0.3 * rng.Float64(),
+			PFSWriteFailRate:  0.4 * rng.Float64(),
+			PFSReadFailRate:   0.4 * rng.Float64(),
+		}
+		cfg := base
+		cfg.Seed = rng.Uint64()
+		cfg.Inject = inject.MustCompile(spec, rng.Uint64(), "chaos/engines")
+		runBothEngines(t, fmt.Sprintf("plan %d", i), cfg)
+	}
+}

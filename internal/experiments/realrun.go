@@ -35,6 +35,11 @@ type RealConfig struct {
 	Cost      mpisim.CostModel
 	MaxWall   float64 // truncation horizon, seconds
 	Seed      uint64
+	// Engine selects the mpisim execution engine. The zero value is the
+	// event scheduler; GoroutineEngine recovers the legacy runtime, kept
+	// for differential testing (TestChaosEngineIndependence asserts the
+	// choice is unobservable in results).
+	Engine mpisim.Engine
 	// UseBlocks switches the application to the paper's 2-D block
 	// decomposition (heat.BlockSolver) instead of the 1-D row layout.
 	UseBlocks bool
@@ -247,7 +252,7 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			loudErr      error // typed policy failure; ends the run loudly
 		}
 		out := segOut{failClass: -1}
-		_, err := mpisim.Run(cfg.Ranks, cfg.Cost, func(r *mpisim.Rank) {
+		_, err := mpisim.RunOn(cfg.Engine, cfg.Ranks, cfg.Cost, func(r *mpisim.Rank) {
 			s, runSeg, err := newApp(r, cfg)
 			if err != nil {
 				panic(err)

@@ -1,0 +1,116 @@
+package heat
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"mlckpt/internal/mpisim"
+	"mlckpt/internal/obs"
+)
+
+// heatTrace runs the heat app at N=64 ranks on the given engine with
+// tracing and returns (trace bytes, stripped metrics bytes, wall). This
+// mirrors what MeasureSpeedupObs does for one scale, with the engine made
+// explicit so the goroutine oracle can be compared. It returns rather than
+// fails so it can run on worker goroutines below.
+func heatTrace(engine mpisim.Engine) ([]byte, []byte, float64, error) {
+	cfg := Config{GridX: 32, GridY: 64, Iterations: 25, CellTime: 1e-9, TopTemp: 100}
+	col := obs.NewCollector()
+	wall, err := mpisim.RunObservedOn(engine, 64, mpisim.DefaultCostModel(), func(r *mpisim.Rank) {
+		s, err := NewSolver(r, cfg)
+		if err != nil {
+			panic(err)
+		}
+		s.Run(nil)
+	}, col, "heat/p64")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	trace, err := json.Marshal(col.Trace)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	snap := col.Registry.Snapshot()
+	snap.StripVolatile()
+	metrics, err := snap.MarshalIndent()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return trace, metrics, wall, nil
+}
+
+// TestHeatTraceByteStable pins the golden-trace property of the event
+// scheduler on the real application: the exported Chrome trace and the
+// stripped metrics for the heat app at N=64 are byte-identical across
+// runs, byte-identical under host-level concurrency (the sweep layer runs
+// measurements from worker pools), and byte-identical to the goroutine
+// oracle's output. No golden regeneration was needed for the scheduler
+// rewrite: the event engine reproduces the old runtime's bytes exactly.
+func TestHeatTraceByteStable(t *testing.T) {
+	trace, metrics, wall, err := heatTrace(mpisim.EventEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall <= 0 {
+		t.Fatalf("wall = %g, want > 0", wall)
+	}
+
+	// Across repeated runs.
+	for i := 0; i < 3; i++ {
+		tr, m, w, err := heatTrace(mpisim.EventEngine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tr, trace) {
+			t.Fatalf("run %d: trace bytes differ", i)
+		}
+		if !bytes.Equal(m, metrics) {
+			t.Fatalf("run %d: metrics bytes differ", i)
+		}
+		if w != wall {
+			t.Fatalf("run %d: wall %g != %g", i, w, wall)
+		}
+	}
+
+	// Across engines: the event scheduler reproduces the goroutine
+	// runtime's telemetry bit for bit.
+	tr, m, w, err := heatTrace(mpisim.GoroutineEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tr, trace) {
+		t.Fatalf("goroutine-engine trace differs:\nevent:     %s\ngoroutine: %s", trace, tr)
+	}
+	if !bytes.Equal(m, metrics) {
+		t.Fatalf("goroutine-engine metrics differ")
+	}
+	if w != wall {
+		t.Fatalf("goroutine-engine wall %g != %g", w, wall)
+	}
+
+	// Under host concurrency, as the sweep worker pools create: eight
+	// simultaneous measurements, each with its own collector, all
+	// byte-identical.
+	const workers = 8
+	traces := make([][]byte, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			traces[slot], _, _, errs[slot] = heatTrace(mpisim.EventEngine)
+		}(i)
+	}
+	wg.Wait()
+	for i, tr := range traces {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(tr, trace) {
+			t.Fatalf("concurrent run %d: trace bytes differ", i)
+		}
+	}
+}

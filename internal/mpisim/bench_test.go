@@ -5,20 +5,48 @@ import (
 	"testing"
 )
 
+// BenchmarkAllreduce measures the collective fast path: the World
+// vectorized surface (the face of the event engine built for
+// collective-dominated programs — TestWorldMatchesRun pins its equivalence
+// to Run). The ranks=1048576 case is the paper's exascale N ≈ 10^6 regime;
+// TestAllreduceMillionRanks pins its wall/alloc budget.
 func BenchmarkAllreduce(b *testing.B) {
-	for _, p := range []int{8, 64, 256} {
+	for _, p := range []int{8, 64, 256, 1 << 20} {
 		b.Run(fmt.Sprintf("ranks=%d", p), func(b *testing.B) {
+			w := NewWorld(p, DefaultCostModel())
+			contrib := func(rank int, out []float64) {
+				out[0], out[1], out[2] = 1, 2, 3
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, err := Run(p, DefaultCostModel(), func(r *Rank) {
-					for k := 0; k < 10; k++ {
-						r.Allreduce(Sum, []float64{1, 2, 3})
-					}
-				})
-				if err != nil {
-					b.Fatal(err)
+				for k := 0; k < 10; k++ {
+					w.Allreduce(Sum, 3, contrib)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAllreduceRanks measures the same 10-Allreduce program as full
+// rank programs on each engine — the cost of running arbitrary blocking
+// continuations, as opposed to the vectorized World path above.
+func BenchmarkAllreduceRanks(b *testing.B) {
+	for _, engine := range []Engine{EventEngine, GoroutineEngine} {
+		for _, p := range []int{8, 64, 256} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", engine, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := RunOn(engine, p, DefaultCostModel(), func(r *Rank) {
+						for k := 0; k < 10; k++ {
+							r.Allreduce(Sum, []float64{1, 2, 3})
+						}
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -42,7 +70,9 @@ func BenchmarkPointToPointRing(b *testing.B) {
 }
 
 func BenchmarkRuntimeSpawn(b *testing.B) {
-	// Cost of spinning an SPMD world up and down.
+	// Cost of spinning an SPMD world up and down. Under the event engine a
+	// program that never blocks runs entirely inline on the caller's
+	// goroutine — this benchmark spawns nothing.
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(128, DefaultCostModel(), func(r *Rank) {}); err != nil {
 			b.Fatal(err)

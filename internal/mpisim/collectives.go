@@ -6,11 +6,11 @@ import "fmt"
 // receives the result (others get nil). Cost: one tree phase (half an
 // Allreduce).
 func (r *Rank) Reduce(root int, op ReduceOp, data []float64) []float64 {
-	if root < 0 || root >= r.rt.size {
+	if root < 0 || root >= r.rt.size() {
 		panic(fmt.Sprintf("mpisim: Reduce with invalid root %d", root))
 	}
 	local := append([]float64(nil), data...)
-	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data))
+	cost := r.rt.cost().treeCost(r.rt.size(), 8*len(data))
 	out := r.collective(collReduce, local, func(entries []float64, payloads []any) (any, float64) {
 		acc := append([]float64(nil), payloads[0].([]float64)...)
 		for i := 1; i < len(payloads); i++ {
@@ -18,20 +18,7 @@ func (r *Rank) Reduce(root int, op ReduceOp, data []float64) []float64 {
 			if len(v) != len(acc) {
 				panic(fmt.Sprintf("mpisim: Reduce length mismatch: %d vs %d", len(v), len(acc)))
 			}
-			for j := range acc {
-				switch op {
-				case Sum:
-					acc[j] += v[j]
-				case Max:
-					if v[j] > acc[j] {
-						acc[j] = v[j]
-					}
-				case Min:
-					if v[j] < acc[j] {
-						acc[j] = v[j]
-					}
-				}
-			}
+			op.apply(acc, v)
 		}
 		return acc, maxOf(entries) + cost
 	})
@@ -44,13 +31,13 @@ func (r *Rank) Reduce(root int, op ReduceOp, data []float64) []float64 {
 // Scatter distributes root's per-rank chunks: rank i receives chunks[i].
 // Non-root ranks pass nil. Cost: one tree phase over the total volume.
 func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
-	if root < 0 || root >= r.rt.size {
+	if root < 0 || root >= r.rt.size() {
 		panic(fmt.Sprintf("mpisim: Scatter with invalid root %d", root))
 	}
 	var payload any
 	if r.id == root {
-		if len(chunks) != r.rt.size {
-			panic(fmt.Sprintf("mpisim: Scatter with %d chunks for %d ranks", len(chunks), r.rt.size))
+		if len(chunks) != r.rt.size() {
+			panic(fmt.Sprintf("mpisim: Scatter with %d chunks for %d ranks", len(chunks), r.rt.size()))
 		}
 		cp := make([][]byte, len(chunks))
 		for i, c := range chunks {
@@ -61,14 +48,15 @@ func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
 	// The cost must come from the gathered payloads, not from any one
 	// caller's arguments: the closure runs on whichever rank arrives last,
 	// and per-rank argument sizes may differ. Virtual time has to be a
-	// pure function of the communicated data, never of goroutine order.
-	rt := r.rt
+	// pure function of the communicated data, never of rank execution
+	// order.
+	cm, size := r.rt.cost(), r.rt.size()
 	out := r.collective(collScatter, payload, func(entries []float64, payloads []any) (any, float64) {
 		total := 0
 		for _, c := range payloads[root].([][]byte) {
 			total += len(c)
 		}
-		return payloads[root], maxOf(entries) + rt.cost.treeCost(rt.size, total)
+		return payloads[root], maxOf(entries) + cm.treeCost(size, total)
 	})
 	all := out.([][]byte)
 	return all[r.id]

@@ -82,3 +82,40 @@ func TestBcastScatterWallClockSchedulingIndependent(t *testing.T) {
 		}
 	}
 }
+
+// TestWallClockEngineIndependent extends the scheduling-independence pin
+// across the engine boundary: the scheduling-sensitive programs above
+// yield the same wall clock whether ranks are cooperative continuations
+// (event engine, used by the helpers via Run) or preemptive goroutines.
+func TestWallClockEngineIndependent(t *testing.T) {
+	for name, prog := range map[string]func(*Rank){
+		"unevenGather": func(r *Rank) {
+			for iter := 0; iter < 50; iter++ {
+				r.Compute(float64(r.ID()+1) * 1e-6)
+				r.Gather(bytes.Repeat([]byte{byte(r.ID())}, r.ID()+1))
+			}
+		},
+		"rootOnlyPayload": func(r *Rank) {
+			for iter := 0; iter < 30; iter++ {
+				r.Compute(float64(5-r.ID()) * 1e-6)
+				var msg []byte
+				if r.ID() == 2 {
+					msg = bytes.Repeat([]byte{7}, 1000)
+				}
+				r.Bcast(2, msg)
+			}
+		},
+	} {
+		ev, err := RunOn(EventEngine, 5, DefaultCostModel(), prog)
+		if err != nil {
+			t.Fatalf("%s: event: %v", name, err)
+		}
+		or, err := RunOn(GoroutineEngine, 5, DefaultCostModel(), prog)
+		if err != nil {
+			t.Fatalf("%s: goroutine: %v", name, err)
+		}
+		if ev != or {
+			t.Errorf("%s: wall %.17g (event) != %.17g (goroutine)", name, ev, or)
+		}
+	}
+}

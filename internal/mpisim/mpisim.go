@@ -1,8 +1,7 @@
 // Package mpisim is a simulated message-passing runtime: it executes SPMD
-// programs written against an MPI-like API — one goroutine per rank, real
-// data movement between ranks — while advancing per-rank *virtual clocks*
-// according to a LogP-style communication cost model instead of measuring
-// host time.
+// programs written against an MPI-like API — real data movement between
+// ranks — while advancing per-rank *virtual clocks* according to a
+// LogP-style communication cost model instead of measuring host time.
 //
 // It stands in for the paper's real-cluster substrate (the Argonne Fusion
 // runs of Section IV): the Heat Distribution program in internal/heat runs
@@ -10,6 +9,21 @@
 // speedup curves of Figure 2 and exercising the FTI-style checkpoint
 // toolkit in internal/fti end to end. Because time is virtual, a
 // 1,024-rank execution simulates in milliseconds, deterministically.
+//
+// Two execution engines share one operation layer (see docs/SCHEDULER.md):
+//
+//   - EventEngine (the default): a run-to-completion scheduler. Rank
+//     programs run as cooperative continuations — exactly one rank executes
+//     at a time, from one blocking operation to the next, and the scheduler
+//     resumes the runnable rank with the smallest virtual clock. Goroutines
+//     are created lazily, only for ranks that actually block, so a program
+//     that never blocks spawns none. The vectorized World surface
+//     (world.go) extends this engine to 10^6-rank collectives.
+//   - GoroutineEngine: the original goroutine-per-rank runtime with channel
+//     rendezvous, kept as the differential-testing oracle. The two engines
+//     share every cost formula, so any divergence in clocks, payloads, or
+//     traces is a scheduler bug by construction — differential_test.go
+//     hunts for exactly that.
 //
 // Timing semantics (cost model fields in parentheses):
 //
@@ -27,14 +41,36 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"mlckpt/internal/obs"
 )
 
 // ErrRuntime is returned when an SPMD program fails (rank panic, bad rank
-// arguments, mismatched collectives).
+// arguments, mismatched collectives, an all-ranks-blocked deadlock under
+// the event engine).
 var ErrRuntime = errors.New("mpisim: runtime error")
+
+// Engine selects the execution engine for an SPMD run.
+type Engine int
+
+// Available engines. EventEngine is the zero value and the default
+// everywhere; GoroutineEngine is the legacy runtime kept as the
+// differential-testing oracle.
+const (
+	EventEngine Engine = iota
+	GoroutineEngine
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EventEngine:
+		return "event"
+	case GoroutineEngine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
 
 // CostModel parameterizes communication timing, all in seconds (ByteTime in
 // seconds per byte).
@@ -102,60 +138,65 @@ type message struct {
 	arrival float64 // virtual time the message is available at the receiver
 }
 
-// Runtime hosts one SPMD execution.
-type Runtime struct {
-	size int
-	cost CostModel
+// collCompute runs once per collective, on the last arriver, over the
+// gathered payloads and entry clocks; it returns (result, exitClock). Both
+// engines invoke the same closures, so virtual time is engine-independent
+// by construction.
+type collCompute func(entries []float64, payloads []any) (any, float64)
 
-	// rec/track carry the run's telemetry sink (see RunObserved). Spans
-	// ride the virtual clock, so the exported trace depends only on the
-	// program and cost model, never on goroutine scheduling.
-	rec   obs.Recorder
-	track string
+// backend is the engine-specific half of the runtime: message transport,
+// blocking, and collective rendezvous. All clock arithmetic and cost
+// computation lives in the shared Rank operation layer below, so both
+// engines produce bit-identical virtual times for the same program.
+type backend interface {
+	size() int
+	cost() CostModel
 
-	mu    sync.Mutex
-	mail  map[mailKey]chan message
-	colls map[collKey]*collOp
-	ranks []Rank // contiguous slab; rank i is &ranks[i]
-
-	// bufPool recycles message payload buffers: Send copies into a pooled
-	// buffer and RecvInto returns it to the pool after copying out, so the
-	// steady-state exchange path allocates nothing. Only buffer identity
-	// depends on scheduling; contents, arrival times, and clocks do not.
-	bufPool sync.Pool
-
-	abort     chan struct{} // closed when any rank panics
-	abortOnce sync.Once
+	// deliver transports a message (already charged to the sender's clock)
+	// to (dst, tag). The payload has been copied into an engine-owned
+	// buffer by the caller via copyBuf.
+	deliver(r *Rank, dst, tag int, m message)
+	// await blocks the rank until a message from (src, tag) is available
+	// and returns it.
+	await(r *Rank, src, tag int) message
+	// copyBuf copies data into an engine-pooled buffer.
+	copyBuf(data []byte) ([]byte, *[]byte)
+	// recycle returns a pooled message buffer after RecvInto copied it out.
+	recycle(p *[]byte)
+	// rendezvous blocks the rank in the keyed collective; the last arriver
+	// runs compute over all entry clocks and payloads. Every participant
+	// receives (result, exit).
+	rendezvous(r *Rank, key collKey, payload any, compute collCompute) (any, float64)
 }
 
 // abortSentinel marks the secondary panics used to unblock ranks stuck in
 // Recv or collectives after another rank failed.
 type abortSentinel struct{}
 
-type collOp struct {
-	arrived  int
-	entries  []float64
-	payloads []any
-	exit     float64
-	result   any
-	done     chan struct{}
-}
-
-// Rank is the per-goroutine handle an SPMD function receives.
+// Rank is the per-rank handle an SPMD function receives.
 type Rank struct {
 	id    int
-	rt    *Runtime
+	rt    backend
 	clock float64
 	seq   [numCollKinds]int // per-kind collective sequence numbers
+
+	// Event-engine fiber state (nil under the goroutine engine). Keeping
+	// the pointer here lets the shared ops layer stay engine-agnostic while
+	// the event backend reaches its scheduling state in O(1).
+	fib *fiber
 }
 
-// Run executes fn as size concurrent ranks and returns the wall-clock time
-// of the execution: the maximum final virtual clock across ranks. A panic
-// in any rank aborts the run with an error (the other ranks may be leaked
-// if they are blocked on the panicking rank — acceptable for a simulator
-// driven by tests and benches).
+// Run executes fn as size ranks on the default event engine and returns
+// the wall-clock time of the execution: the maximum final virtual clock
+// across ranks. A panic in any rank aborts the run with an error.
 func Run(size int, cost CostModel, fn func(*Rank)) (float64, error) {
-	return RunObserved(size, cost, fn, nil, "")
+	return RunObservedOn(EventEngine, size, cost, fn, nil, "")
+}
+
+// RunOn is Run on an explicit engine. GoroutineEngine is the legacy
+// goroutine-per-rank runtime, kept as the differential-testing oracle.
+func RunOn(engine Engine, size int, cost CostModel, fn func(*Rank)) (float64, error) {
+	return RunObservedOn(engine, size, cost, fn, nil, "")
 }
 
 // RunObserved is Run with telemetry: collective operations are counted
@@ -165,72 +206,62 @@ func Run(size int, cost CostModel, fn func(*Rank)) (float64, error) {
 // so traces are byte-identical across hosts and schedules. A nil recorder
 // makes this identical to Run.
 func RunObserved(size int, cost CostModel, fn func(*Rank), rec obs.Recorder, track string) (float64, error) {
+	return RunObservedOn(EventEngine, size, cost, fn, rec, track)
+}
+
+// RunObservedOn is RunObserved on an explicit engine.
+func RunObservedOn(engine Engine, size int, cost CostModel, fn func(*Rank), rec obs.Recorder, track string) (float64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("%w: size %d", ErrRuntime, size)
 	}
-	rt := &Runtime{
-		size:  size,
-		cost:  cost,
-		rec:   obs.OrNop(rec),
-		track: track,
-		mail:  make(map[mailKey]chan message),
-		colls: make(map[collKey]*collOp),
-		abort: make(chan struct{}),
+	switch engine {
+	case EventEngine:
+		return runEvent(size, cost, fn, obs.OrNop(rec), track)
+	case GoroutineEngine:
+		return runGoroutine(size, cost, fn, obs.OrNop(rec), track)
+	default:
+		return 0, fmt.Errorf("%w: unknown engine %d", ErrRuntime, int(engine))
 	}
-	rt.ranks = make([]Rank, size)
-	for i := range rt.ranks {
-		rt.ranks[i].id = i
-		rt.ranks[i].rt = rt
-	}
-	var wg sync.WaitGroup
-	panics := make([]any, size)
-	for i := 0; i < size; i++ {
-		wg.Add(1)
-		go func(r *Rank) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[r.id] = p
-					rt.abortOnce.Do(func() { close(rt.abort) })
-				}
-			}()
-			fn(r)
-		}(&rt.ranks[i])
-	}
-	wg.Wait()
-	for id, p := range panics {
-		if _, aborted := p.(abortSentinel); p != nil && !aborted {
-			return 0, fmt.Errorf("%w: rank %d panicked: %v", ErrRuntime, id, p)
-		}
-	}
-	// All recorded panics were abort sentinels triggered by... impossible
-	// without an original panic, but guard anyway.
-	for id, p := range panics {
-		if p != nil {
-			return 0, fmt.Errorf("%w: rank %d aborted", ErrRuntime, id)
-		}
-	}
+}
+
+// finishRun emits the end-of-run telemetry shared by both engines and
+// returns the wall clock: the maximum final virtual clock across ranks.
+func finishRun(rec obs.Recorder, track string, size int, clocks func(i int) float64) float64 {
 	wall := 0.0
-	for i := range rt.ranks {
-		if c := rt.ranks[i].clock; c > wall {
+	for i := 0; i < size; i++ {
+		if c := clocks(i); c > wall {
 			wall = c
 		}
 	}
-	rt.rec.Count("mpisim.runs", 1)
-	rt.rec.Observe("mpisim.run.virtual_s", wall)
-	if rt.track != "" {
-		rt.rec.Span(rt.track, "run", 0, wall, map[string]float64{
+	rec.Count("mpisim.runs", 1)
+	rec.Observe("mpisim.run.virtual_s", wall)
+	if track != "" {
+		rec.Span(track, "run", 0, wall, map[string]float64{
 			"ranks": float64(size),
 		})
 	}
-	return wall, nil
+	return wall
+}
+
+// emitCollSpan records one completed collective. Both engines call it from
+// the last arriver at completion, so per-track event order equals
+// collective completion order — which program order fixes (all collectives
+// here are global, hence totally ordered).
+func emitCollSpan(rec obs.Recorder, track string, key collKey, entries []float64, exit float64) {
+	rec.Count("mpisim.collectives", 1)
+	if track != "" {
+		entry := minOf(entries)
+		rec.Span(track, collNames[key.kind], entry, exit-entry, map[string]float64{
+			"seq": float64(key.seq),
+		})
+	}
 }
 
 // ID returns the rank index in [0, Size).
 func (r *Rank) ID() int { return r.id }
 
 // Size returns the number of ranks.
-func (r *Rank) Size() int { return r.rt.size }
+func (r *Rank) Size() int { return r.rt.size() }
 
 // Clock returns the rank's current virtual time in seconds.
 func (r *Rank) Clock() float64 { return r.clock }
@@ -242,68 +273,34 @@ func (r *Rank) Compute(seconds float64) {
 	}
 }
 
-func (rt *Runtime) box(k mailKey) chan message {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if ch, ok := rt.mail[k]; ok {
-		return ch
+// AdvanceTo raises the rank's clock to at least t (used by I/O substrates
+// that compute completion times themselves).
+func (r *Rank) AdvanceTo(t float64) {
+	if t > r.clock {
+		r.clock = t
 	}
-	ch := make(chan message, 1024)
-	rt.mail[k] = ch
-	return ch
-}
-
-// getBuf returns a pooled buffer of length n (allocating when the pool is
-// empty or its buffer is too small). The pool traffics in *[]byte so that
-// Get/Put move a pointer, not a boxed slice header — Put([]byte) would
-// heap-allocate the header on every recycle.
-func (rt *Runtime) getBuf(n int) *[]byte {
-	if p, _ := rt.bufPool.Get().(*[]byte); p != nil && cap(*p) >= n {
-		*p = (*p)[:n]
-		return p
-	}
-	b := make([]byte, n)
-	return &b
 }
 
 // Send transmits data to rank dst with the given tag (eager semantics: the
 // sender does not wait for the matching receive). The payload is copied,
 // so the caller may reuse data immediately.
 func (r *Rank) Send(dst, tag int, data []byte) {
-	if dst < 0 || dst >= r.rt.size {
+	if dst < 0 || dst >= r.rt.size() {
 		panic(fmt.Sprintf("mpisim: Send to invalid rank %d", dst))
 	}
-	r.clock += r.rt.cost.Overhead
-	p := r.rt.getBuf(len(data))
-	copy(*p, data)
-	msg := message{
-		data:    *p,
-		pooled:  p,
-		arrival: r.clock + r.rt.cost.transferTime(len(data)),
-	}
-	select {
-	case r.rt.box(mailKey{r.id, dst, tag}) <- msg:
-	case <-r.rt.abort:
-		panic(abortSentinel{})
-	}
+	r.clock += r.rt.cost().Overhead
+	buf, pooled := r.rt.copyBuf(data)
+	r.rt.deliver(r, dst, tag, message{
+		data:    buf,
+		pooled:  pooled,
+		arrival: r.clock + r.rt.cost().transferTime(len(data)),
+	})
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload.
 func (r *Rank) Recv(src, tag int) []byte {
-	if src < 0 || src >= r.rt.size {
-		panic(fmt.Sprintf("mpisim: Recv from invalid rank %d", src))
-	}
-	var msg message
-	select {
-	case msg = <-r.rt.box(mailKey{src, r.id, tag}):
-	case <-r.rt.abort:
-		panic(abortSentinel{})
-	}
-	if msg.arrival > r.clock {
-		r.clock = msg.arrival
-	}
-	r.clock += r.rt.cost.Overhead
+	msg := r.awaitFrom(src, tag)
 	return msg.data
 }
 
@@ -312,27 +309,27 @@ func (r *Rank) Recv(src, tag int) []byte {
 // to the runtime's pool, so a steady-state exchange loop allocates
 // nothing. Clock semantics are identical to Recv.
 func (r *Rank) RecvInto(src, tag int, buf []byte) []byte {
-	if src < 0 || src >= r.rt.size {
-		panic(fmt.Sprintf("mpisim: RecvInto from invalid rank %d", src))
-	}
-	var msg message
-	select {
-	case msg = <-r.rt.box(mailKey{src, r.id, tag}):
-	case <-r.rt.abort:
-		panic(abortSentinel{})
-	}
-	if msg.arrival > r.clock {
-		r.clock = msg.arrival
-	}
-	r.clock += r.rt.cost.Overhead
+	msg := r.awaitFrom(src, tag)
 	if cap(buf) < len(msg.data) {
 		buf = make([]byte, len(msg.data))
 	} else {
 		buf = buf[:len(msg.data)]
 	}
 	copy(buf, msg.data)
-	r.rt.bufPool.Put(msg.pooled)
+	r.rt.recycle(msg.pooled)
 	return buf
+}
+
+func (r *Rank) awaitFrom(src, tag int) message {
+	if src < 0 || src >= r.rt.size() {
+		panic(fmt.Sprintf("mpisim: Recv from invalid rank %d", src))
+	}
+	msg := r.rt.await(r, src, tag)
+	if msg.arrival > r.clock {
+		r.clock = msg.arrival
+	}
+	r.clock += r.rt.cost().Overhead
+	return msg
 }
 
 // Request is a pending nonblocking operation.
@@ -380,61 +377,38 @@ func (r *Rank) Waitall(reqs []*Request) {
 	}
 }
 
-// collective synchronizes all ranks on a named operation. compute runs once
-// (on the last arriver) over the gathered payloads and entry clocks and
-// returns (result, exitClock).
-func (r *Rank) collective(kind collKind, payload any,
-	compute func(entries []float64, payloads []any) (any, float64)) any {
-
-	rt := r.rt
+// collective synchronizes all ranks on a kinded operation. compute runs
+// once (on the last arriver) over the gathered payloads and entry clocks
+// and returns (result, exitClock).
+func (r *Rank) collective(kind collKind, payload any, compute collCompute) any {
 	seq := r.seq[kind]
 	r.seq[kind] = seq + 1
 	key := collKey{kind: kind, seq: seq}
-
-	rt.mu.Lock()
-	op, ok := rt.colls[key]
-	if !ok {
-		op = &collOp{
-			entries:  make([]float64, rt.size),
-			payloads: make([]any, rt.size),
-			done:     make(chan struct{}),
-		}
-		rt.colls[key] = op
+	// Devirtualized per engine: through the backend interface the compute
+	// closure (and its captures) would heap-escape on every rank at every
+	// collective; with a concrete callee escape analysis proves the
+	// closure never outlives the call and leaves it on the stack. The
+	// switch is exhaustive — backend is unexported and has exactly these
+	// two implementations (an interface fallback arm would put the
+	// escape back on every path: escape analysis is flow-insensitive).
+	var result any
+	var exit float64
+	switch rt := r.rt.(type) {
+	case *evRuntime:
+		result, exit = rt.rendezvous(r, key, payload, compute)
+	case *goRuntime:
+		result, exit = rt.rendezvous(r, key, payload, compute)
+	default:
+		panic("mpisim: unknown backend")
 	}
-	op.entries[r.id] = r.clock
-	op.payloads[r.id] = payload
-	op.arrived++
-	if op.arrived == rt.size {
-		op.result, op.exit = compute(op.entries, op.payloads)
-		delete(rt.colls, key) // slot is complete; free it
-		// The span covers first entry to common exit. Emitting under rt.mu
-		// keeps per-track event order equal to collective completion order,
-		// which program order fixes regardless of which goroutine arrives
-		// last (all collectives here are global, hence totally ordered).
-		rt.rec.Count("mpisim.collectives", 1)
-		if rt.track != "" {
-			entry := minOf(op.entries)
-			rt.rec.Span(rt.track, collNames[kind], entry, op.exit-entry, map[string]float64{
-				"seq": float64(seq),
-			})
-		}
-		close(op.done)
-	}
-	rt.mu.Unlock()
-
-	select {
-	case <-op.done:
-	case <-rt.abort:
-		panic(abortSentinel{})
-	}
-	r.clock = op.exit
-	return op.result
+	r.clock = exit
+	return result
 }
 
 // Barrier blocks until every rank reaches it; all clocks synchronize to the
 // latest participant plus a tree latency.
 func (r *Rank) Barrier() {
-	cost := r.rt.cost.treeCost(r.rt.size, 0)
+	cost := r.rt.cost().treeCost(r.rt.size(), 0)
 	r.collective(collBarrier, nil, func(entries []float64, _ []any) (any, float64) {
 		return nil, maxOf(entries) + cost
 	})
@@ -442,7 +416,7 @@ func (r *Rank) Barrier() {
 
 // Bcast broadcasts root's payload to every rank and returns it.
 func (r *Rank) Bcast(root int, data []byte) []byte {
-	if root < 0 || root >= r.rt.size {
+	if root < 0 || root >= r.rt.size() {
 		panic(fmt.Sprintf("mpisim: Bcast with invalid root %d", root))
 	}
 	var payload any
@@ -452,14 +426,14 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 	// Cost from the root's payload, not the caller's argument: the closure
 	// runs on whichever rank arrives last, and non-root callers may pass
 	// nil or differently-sized buffers. Virtual time has to be a pure
-	// function of the communicated data, never of goroutine order.
-	rt := r.rt
+	// function of the communicated data, never of rank execution order.
+	cm, size := r.rt.cost(), r.rt.size()
 	out := r.collective(collBcast, payload, func(entries []float64, payloads []any) (any, float64) {
 		n := 0
 		if b, ok := payloads[root].([]byte); ok {
 			n = len(b)
 		}
-		return payloads[root], maxOf(entries) + rt.cost.treeCost(rt.size, n)
+		return payloads[root], maxOf(entries) + cm.treeCost(size, n)
 	})
 	if out == nil {
 		return nil
@@ -477,6 +451,26 @@ const (
 	Min
 )
 
+// apply folds v into acc elementwise. Shared by the rank collectives and
+// the vectorized World surface so every path reduces with the exact same
+// float operations.
+func (op ReduceOp) apply(acc, v []float64) {
+	for j := range acc {
+		switch op {
+		case Sum:
+			acc[j] += v[j]
+		case Max:
+			if v[j] > acc[j] {
+				acc[j] = v[j]
+			}
+		case Min:
+			if v[j] < acc[j] {
+				acc[j] = v[j]
+			}
+		}
+	}
+}
+
 // Allreduce reduces the per-rank vectors elementwise with op and returns
 // the reduced vector to every rank.
 func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
@@ -484,7 +478,7 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	// collective until the last arriver has run the reduction, so no
 	// caller can mutate its argument while another rank's closure reads
 	// it. (The reduced vector is a fresh allocation shared by all ranks.)
-	cost := r.rt.cost.treeCost(r.rt.size, 8*len(data)) * 2 // reduce + broadcast phases
+	cost := r.rt.cost().treeCost(r.rt.size(), 8*len(data)) * 2 // reduce + broadcast phases
 	out := r.collective(collAllreduce, data, func(entries []float64, payloads []any) (any, float64) {
 		acc := append([]float64(nil), payloads[0].([]float64)...)
 		for i := 1; i < len(payloads); i++ {
@@ -492,20 +486,7 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 			if len(v) != len(acc) {
 				panic(fmt.Sprintf("mpisim: Allreduce length mismatch: %d vs %d", len(v), len(acc)))
 			}
-			for j := range acc {
-				switch op {
-				case Sum:
-					acc[j] += v[j]
-				case Max:
-					if v[j] > acc[j] {
-						acc[j] = v[j]
-					}
-				case Min:
-					if v[j] < acc[j] {
-						acc[j] = v[j]
-					}
-				}
-			}
+			op.apply(acc, v)
 		}
 		return acc, maxOf(entries) + cost
 	})
@@ -520,8 +501,8 @@ func (r *Rank) Gather(data []byte) [][]byte {
 	// different sizes (uneven block partitions), and the closure runs on
 	// whichever rank arrives last, so it must not price the operation off
 	// any single caller's argument. Virtual time has to be a pure function
-	// of the communicated data, never of goroutine order.
-	rt := r.rt
+	// of the communicated data, never of rank execution order.
+	cm, size := r.rt.cost(), r.rt.size()
 	out := r.collective(collGather, payload, func(entries []float64, payloads []any) (any, float64) {
 		all := make([][]byte, len(payloads))
 		total := 0
@@ -529,17 +510,9 @@ func (r *Rank) Gather(data []byte) [][]byte {
 			all[i] = p.([]byte)
 			total += len(all[i])
 		}
-		return all, maxOf(entries) + rt.cost.treeCost(rt.size, total)
+		return all, maxOf(entries) + cm.treeCost(size, total)
 	})
 	return out.([][]byte)
-}
-
-// AdvanceTo raises the rank's clock to at least t (used by I/O substrates
-// that compute completion times themselves).
-func (r *Rank) AdvanceTo(t float64) {
-	if t > r.clock {
-		r.clock = t
-	}
 }
 
 func maxOf(xs []float64) float64 {

@@ -1,0 +1,134 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"mlckpt/internal/obs"
+)
+
+// World is the vectorized face of the event engine: the same virtual-time
+// and cost semantics as Run, over contiguous per-rank state, with no rank
+// programs at all. A collective over 10^6 ranks is one pass over a clock
+// slab plus one reduction sweep — no goroutines, no channels, no parking —
+// which is what lets the simulated substrate reach the exascale
+// N ≈ 10^6 regime the paper extrapolates to (TestAllreduceMillionRanks
+// pins the budget).
+//
+// Use World when the program is collective-dominated and expressible as
+// "advance clocks, then reduce": speedup-curve style workloads. Use Run
+// when ranks need real point-to-point message flow or per-rank control
+// flow; the two produce identical clocks, results, and telemetry for
+// equivalent programs (TestWorldMatchesRun).
+type World struct {
+	size  int
+	cm    CostModel
+	rec   obs.Recorder
+	track string
+
+	clocks []float64 // clocks[i] is rank i's virtual time
+	seq    [numCollKinds]int
+
+	// acc/scratch are the reduction slabs, reused across Allreduce calls
+	// so the steady-state path allocates nothing.
+	acc, scratch []float64
+}
+
+// NewWorld creates a size-rank world with all clocks at zero.
+func NewWorld(size int, cost CostModel) *World {
+	return NewWorldObserved(size, cost, nil, "")
+}
+
+// NewWorldObserved is NewWorld with telemetry, mirroring RunObserved:
+// collectives are counted and (with a non-empty track) emitted as virtual-
+// time spans; Finish emits the enclosing run span.
+func NewWorldObserved(size int, cost CostModel, rec obs.Recorder, track string) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpisim: NewWorld with size %d", size))
+	}
+	return &World{
+		size:   size,
+		cm:     cost,
+		rec:    obs.OrNop(rec),
+		track:  track,
+		clocks: make([]float64, size),
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Clock returns rank's current virtual time in seconds.
+func (w *World) Clock(rank int) float64 { return w.clocks[rank] }
+
+// Compute advances one rank's clock, like Rank.Compute.
+func (w *World) Compute(rank int, seconds float64) {
+	if seconds > 0 {
+		w.clocks[rank] += seconds
+	}
+}
+
+// ComputeAll advances every rank's clock by seconds(rank) in one sweep.
+func (w *World) ComputeAll(seconds func(rank int) float64) {
+	for i := range w.clocks {
+		if s := seconds(i); s > 0 {
+			w.clocks[i] += s
+		}
+	}
+}
+
+// AdvanceTo raises rank's clock to at least t, like Rank.AdvanceTo.
+func (w *World) AdvanceTo(rank int, t float64) {
+	if t > w.clocks[rank] {
+		w.clocks[rank] = t
+	}
+}
+
+// Barrier synchronizes every clock to the latest participant plus the tree
+// latency — identical arithmetic to Rank.Barrier.
+func (w *World) Barrier() {
+	exit := maxOf(w.clocks) + w.cm.treeCost(w.size, 0)
+	w.finishColl(collBarrier, exit)
+}
+
+// Allreduce reduces width-wide per-rank vectors elementwise with op and
+// returns the reduced vector; contrib must fill out (length width) with
+// rank's contribution. The cost model, reduction order, and telemetry are
+// identical to Rank.Allreduce — one vectorized computation instead of a
+// size-rank rendezvous. The returned slice is reused by the next
+// Allreduce call; copy it to keep it.
+func (w *World) Allreduce(op ReduceOp, width int, contrib func(rank int, out []float64)) []float64 {
+	if cap(w.acc) < width {
+		w.acc = make([]float64, width)
+		w.scratch = make([]float64, width)
+	}
+	w.acc, w.scratch = w.acc[:width], w.scratch[:width]
+	contrib(0, w.acc)
+	for r := 1; r < w.size; r++ {
+		contrib(r, w.scratch)
+		op.apply(w.acc, w.scratch)
+	}
+	exit := maxOf(w.clocks) + w.cm.treeCost(w.size, 8*width)*2 // reduce + broadcast phases
+	w.finishColl(collAllreduce, exit)
+	return w.acc
+}
+
+// finishColl emits the collective's telemetry (entry clocks are the
+// current slab, read before the update) and advances every clock to the
+// common exit.
+func (w *World) finishColl(kind collKind, exit float64) {
+	key := collKey{kind: kind, seq: w.seq[kind]}
+	w.seq[kind]++
+	emitCollSpan(w.rec, w.track, key, w.clocks, exit)
+	for i := range w.clocks {
+		w.clocks[i] = exit
+	}
+}
+
+// Wall returns the maximum clock across ranks.
+func (w *World) Wall() float64 { return maxOf(w.clocks) }
+
+// Finish emits the end-of-run telemetry (run count, virtual seconds, run
+// span) exactly as Run does and returns the wall clock. Call it once.
+func (w *World) Finish() float64 {
+	return finishRun(w.rec, w.track, w.size, func(i int) float64 { return w.clocks[i] })
+}

@@ -1,0 +1,145 @@
+package mpisim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mlckpt/internal/obs"
+)
+
+// worldProgramWidth is the vector width shared by the World/Run
+// equivalence program below.
+const worldProgramWidth = 3
+
+// runWorldProgram executes the reference collective-dominated program —
+// per-rank compute, barrier, two Allreduces — on the World surface.
+func runWorldProgram(rec obs.Recorder, track string, p int) (wall float64, clocks []float64, result []float64) {
+	w := NewWorldObserved(p, DefaultCostModel(), rec, track)
+	w.ComputeAll(func(rank int) float64 { return float64(rank) * 1e-4 })
+	w.Barrier()
+	contrib := func(rank int, out []float64) {
+		for j := range out {
+			out[j] = float64(rank*(j+2)%13) - 6
+		}
+	}
+	res := append([]float64(nil), w.Allreduce(Sum, worldProgramWidth, contrib)...)
+	res = append(res, w.Allreduce(Max, worldProgramWidth, contrib)...)
+	clocks = make([]float64, p)
+	for i := range clocks {
+		clocks[i] = w.Clock(i)
+	}
+	return w.Finish(), clocks, res
+}
+
+// runRankProgram executes the same program as full rank programs.
+func runRankProgram(t *testing.T, engine Engine, rec obs.Recorder, track string, p int) (wall float64, clocks, result []float64) {
+	t.Helper()
+	clocks = make([]float64, p)
+	results := make([][]float64, p)
+	wall, err := RunObservedOn(engine, p, DefaultCostModel(), func(r *Rank) {
+		id := r.ID()
+		r.Compute(float64(id) * 1e-4)
+		r.Barrier()
+		vec := make([]float64, worldProgramWidth)
+		for j := range vec {
+			vec[j] = float64(id*(j+2)%13) - 6
+		}
+		res := append([]float64(nil), r.Allreduce(Sum, vec)...)
+		res = append(res, r.Allreduce(Max, vec)...)
+		results[id] = res
+		clocks[id] = r.Clock()
+	}, rec, track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wall, clocks, results[0]
+}
+
+// TestWorldMatchesRun pins the equivalence of the vectorized surface to
+// the rank-program path on both engines: identical wall, per-rank clocks,
+// reduction results, stripped metrics, and trace bytes.
+func TestWorldMatchesRun(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 64} {
+		wCol := obs.NewCollector()
+		wWall, wClocks, wRes := runWorldProgram(wCol, "mpisim/world", p)
+		for _, engine := range []Engine{EventEngine, GoroutineEngine} {
+			rCol := obs.NewCollector()
+			rWall, rClocks, rRes := runRankProgram(t, engine, rCol, "mpisim/world", p)
+			if wWall != rWall {
+				t.Errorf("p=%d %s: wall: world=%g run=%g", p, engine, wWall, rWall)
+			}
+			for i := range wClocks {
+				if wClocks[i] != rClocks[i] {
+					t.Errorf("p=%d %s: rank %d clock: world=%g run=%g", p, engine, i, wClocks[i], rClocks[i])
+				}
+			}
+			if len(wRes) != len(rRes) {
+				t.Fatalf("p=%d %s: result width: world=%d run=%d", p, engine, len(wRes), len(rRes))
+			}
+			for j := range wRes {
+				if wRes[j] != rRes[j] {
+					t.Errorf("p=%d %s: result[%d]: world=%g run=%g", p, engine, j, wRes[j], rRes[j])
+				}
+			}
+			wTrace, _ := json.Marshal(wCol.Trace)
+			rTrace, _ := json.Marshal(rCol.Trace)
+			if !bytes.Equal(wTrace, rTrace) {
+				t.Errorf("p=%d %s: trace bytes differ:\nworld: %s\nrun:   %s", p, engine, wTrace, rTrace)
+			}
+			wSnap, rSnap := wCol.Registry.Snapshot(), rCol.Registry.Snapshot()
+			wSnap.StripVolatile()
+			rSnap.StripVolatile()
+			wm, _ := wSnap.MarshalIndent()
+			rm, _ := rSnap.MarshalIndent()
+			if !bytes.Equal(wm, rm) {
+				t.Errorf("p=%d %s: metrics differ:\nworld:\n%s\nrun:\n%s", p, engine, wm, rm)
+			}
+		}
+	}
+}
+
+// TestAllreduceMillionRanks pins the scaling fix the scheduler rewrite
+// exists for: a 10^6-rank Allreduce — the paper's exascale N ≈ 10^6
+// extrapolation regime — completes in well under a second of host time and
+// allocates nothing in steady state. Before the rewrite a collective at
+// this scale meant 10^6 goroutines in one rendezvous.
+func TestAllreduceMillionRanks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates an 8 MB clock slab and sweeps it repeatedly")
+	}
+	const p = 1 << 20
+	w := NewWorld(p, DefaultCostModel())
+	contrib := func(rank int, out []float64) {
+		out[0], out[1], out[2] = 1, float64(rank), float64(rank%7)
+	}
+
+	start := obs.WallClock()
+	res := w.Allreduce(Sum, 3, contrib)
+	elapsed := obs.WallClock() - start
+	if elapsed >= 1.0 {
+		t.Errorf("10^6-rank Allreduce took %.3fs host time, want < 1s", elapsed)
+	}
+
+	// Correctness at scale: sum over 2^20 ranks of each component.
+	if want := float64(p); res[0] != want {
+		t.Errorf("res[0] = %g, want %g", res[0], want)
+	}
+	if want := float64(p) * float64(p-1) / 2; res[1] != want {
+		t.Errorf("res[1] = %g, want %g", res[1], want)
+	}
+
+	// Virtual time matches the shared tree-cost formula exactly.
+	wantExit := DefaultCostModel().treeCost(p, 8*3) * 2
+	if got := w.Clock(0); got != wantExit {
+		t.Errorf("clock after Allreduce = %g, want %g", got, wantExit)
+	}
+
+	// Steady state allocates nothing: the clock slab and reduction
+	// scratch are reused across calls.
+	if allocs := testing.AllocsPerRun(3, func() {
+		w.Allreduce(Sum, 3, contrib)
+	}); allocs != 0 {
+		t.Errorf("steady-state Allreduce allocates %.0f objects/op, want 0", allocs)
+	}
+}

@@ -4,60 +4,17 @@ import (
 	"fmt"
 	"math"
 
-	"mlckpt/internal/eventq"
 	"mlckpt/internal/failure"
 	"mlckpt/internal/stats"
 )
 
-// Wake-up kinds scheduled by the tick jump engine. Only the earliest
-// wake-up matters each round; the payload exists for readability and for
-// the queue's deterministic tie-break on equal times.
-const (
-	tickEvHorizon  int64 = iota // MaxWallClock would be crossed
-	tickEvFailure               // the pending failure's tick is near
-	tickEvBoundary              // checkpoint mark / ckpt-or-recovery completion
-)
-
-// boringTicks clamps a conservative skip estimate to a queue-safe range:
-// negative estimates mean the very next tick must run through the dense
-// per-tick logic, and the cap keeps float→int64 conversion in range for
-// pathologically distant failure draws.
-func boringTicks(k float64) float64 {
-	if k < 0 {
-		return 0
-	}
-	if k > 1e15 {
-		return 1e15
-	}
-	return k
-}
-
-// RunTicks simulates one execution with the paper's original tick-driven
-// scheme (one tick = tick seconds, the paper uses 1 s). It implements the
-// same semantics as Run but quantized to tick boundaries: work, checkpoint
-// and recovery durations are consumed tick by tick, and a failure scheduled
-// inside a tick fires at that tick's end.
-//
-// It exists for the event-vs-tick equivalence ablation; Run is the
-// production path (identical statistics, far faster).
-//
-// Internally RunTicks is a jump engine on the same event loop as the
-// mpisim rank scheduler: instead of iterating every tick, it queues the
-// next interesting tick boundaries in an eventq.Queue — the pending
-// failure, the next checkpoint mark or completion, the wall-clock horizon
-// — pops the earliest, skips the provably boring run of whole ticks before
-// it in O(1), and executes only the interesting tick through the exact
-// per-tick state machine. The per-tick loop survives verbatim as
-// runTicksDense (ticks_dense.go), the differential oracle: every skip is
-// conservative (it stops at least one tick short of the event), so the two
-// engines consume the failure stream and draw jitter at identical ticks,
-// and for ticks whose multiples are exactly representable (integers,
-// power-of-two fractions) the wall clocks and all integer outcome fields
-// match the dense loop exactly. The float work accumulators may differ by
-// one rounding per jump — a jump adds k ticks in one float operation where
-// the dense loop performs k additions — which TestTickJumpMatchesDense
-// bounds at 1e-9 relative.
-func RunTicks(cfg Config, tick float64, rng *stats.RNG) (Result, error) {
+// runTicksDense is the original tick-by-tick loop: every simulated tick is
+// one loop iteration, whether or not anything interesting happens in it.
+// It is kept verbatim as the differential oracle for the jump engine in
+// RunTicks — TestTickJumpMatchesDense replays both over shared seeds and
+// demands identical outcomes. Do not "fix" or optimize this function; its
+// value is that it is the trivially-auditable reference semantics.
+func runTicksDense(cfg Config, tick float64, rng *stats.RNG) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -169,75 +126,13 @@ func RunTicks(cfg Config, tick float64, rng *stats.RNG) (Result, error) {
 		return dur
 	}
 
-	var q eventq.Queue
-
 	for progress < P && wall <= maxWall {
-		suppress := (mode == checkpointing && cfg.DisableFailuresDuringCkpt) ||
-			(mode == recovering && cfg.DisableFailuresDuringRecovery)
-		ev, okEv := peek(wall)
-		failNow := okEv && !suppress && ev.Time < wall+tick
-
-		// The next checkpoint mark is needed both for the boundary wake-up
-		// and for the dense tick below.
-		due := math.Inf(1)
-		dueLevel := -1
-		if mode == working {
-			for i := L - 1; i >= 0; i-- {
-				if m := markProgress(i); m < due-1e-9 {
-					due, dueLevel = m, i
-				} else if m < due+1e-9 && i > dueLevel {
-					dueLevel = i
-				}
-			}
-		}
-
-		if !failNow {
-			// Queue conservative wake-ups, measured in whole ticks from
-			// now. Each estimate stops short of the tick in which its
-			// event can fire, so every skipped tick is provably a no-event
-			// tick whose only effect is one uniform accumulator update.
-			q.Reset()
-			q.Push(boringTicks(math.Floor((maxWall-wall)/tick)-1), tickEvHorizon)
-			if okEv && !suppress {
-				q.Push(boringTicks(math.Floor((ev.Time-wall)/tick)-1), tickEvFailure)
-			}
-			switch mode {
-			case working:
-				dist := math.Min(due, P) - progress
-				q.Push(boringTicks(math.Ceil((dist-1e-9)/tick)-2), tickEvBoundary)
-			default:
-				q.Push(boringTicks(math.Ceil(remaining/tick)-2), tickEvBoundary)
-			}
-			if boring := int64(q.Pop().Time); boring > 0 {
-				delta := float64(boring) * tick
-				switch mode {
-				case working:
-					advanceWork(&res, progress, progress+delta, furthest)
-					progress += delta
-					if progress > furthest {
-						furthest = progress
-					}
-				case checkpointing:
-					if ckptRedo {
-						res.Rollback += delta
-					} else {
-						res.Checkpoint += delta
-					}
-					remaining -= delta
-				case recovering:
-					res.Restart += delta
-					remaining -= delta
-				}
-				wall += delta
-				continue
-			}
-		}
-
-		// An interesting tick: run it through the exact per-tick state
-		// machine (the same transitions as runTicksDense).
+		// Failure at this tick?
 		failed := false
 		var failClass int
-		if failNow {
+		suppress := (mode == checkpointing && cfg.DisableFailuresDuringCkpt) ||
+			(mode == recovering && cfg.DisableFailuresDuringRecovery)
+		if ev, ok := peek(wall); ok && ev.Time < wall+tick && !suppress {
 			havePending = false
 			failed = true
 			failClass = ev.Level
@@ -255,6 +150,16 @@ func RunTicks(cfg Config, tick float64, rng *stats.RNG) (Result, error) {
 				wall += tick
 				res.Restart += tick
 				continue
+			}
+			// Work until the next checkpoint mark or completion.
+			due := math.Inf(1)
+			dueLevel := -1
+			for i := L - 1; i >= 0; i-- {
+				if m := markProgress(i); m < due-1e-9 {
+					due, dueLevel = m, i
+				} else if m < due+1e-9 && i > dueLevel {
+					dueLevel = i
+				}
 			}
 			step := math.Min(tick, math.Min(due, P)-progress)
 			if step < 0 {
