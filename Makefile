@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race short fuzz golden bench bench-diff bench-smoke lint lint-fix-report
+.PHONY: build test race short fuzz golden bench bench-diff bench-smoke lint lint-fix-report allocgate-baseline
 
 build:
 	$(GO) build ./...
@@ -10,15 +10,31 @@ build:
 # invariants the paper reproduction depends on: no ambient nondeterminism
 # in model packages, no order-sensitive map iteration, no exact float
 # equality outside tests, no unsynchronized captured writes from
-# loop-launched goroutines.
+# loop-launched goroutines — plus the module-wide checks: seed provenance
+# (seedflow), fiber-blocking reachability (batonblock), and hot-path
+# allocation idioms (hotpath). allocgate is the compiler-verified half of
+# the //mlckpt:hotpath contract (escape analysis vs allocgate.baseline).
 test:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mlckptlint ./...
+	$(GO) run ./cmd/allocgate
 	$(GO) test ./...
 
-# The project linter alone (file:line diagnostics, exit 1 on findings).
+# The full static-analysis gate: all seven analyzers, then the escape-
+# analysis baseline check (file:line diagnostics, exit 1 on findings).
 lint:
 	$(GO) run ./cmd/mlckptlint ./...
+	$(GO) run ./cmd/allocgate
+
+# Regenerate allocgate.baseline after an intentional allocation-profile
+# change in a //mlckpt:hotpath function. The diff is printed loudly: every
+# line is a heap escape the compiler now reports (or no longer reports)
+# on a hot path, and belongs in review next to the code that caused it.
+allocgate-baseline:
+	$(GO) run ./cmd/allocgate -update
+	@git --no-pager diff --exit-code -- allocgate.baseline \
+		&& echo "allocgate.baseline unchanged" \
+		|| echo "allocgate.baseline CHANGED (diff above) — commit it with the code change that explains it"
 
 # Findings as machine-readable JSON, for editors and fix scripts.
 lint-fix-report:
@@ -36,10 +52,12 @@ race:
 short:
 	$(GO) test -short ./...
 
-# Bounded fuzz sessions for the Spec-validation and cache-key invariants.
+# Bounded fuzz sessions for the Spec-validation, cache-key, and
+# linter-robustness invariants.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzOptimizeNeverPanics -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzKeyEquality -fuzztime 30s ./internal/sweep
+	$(GO) test -run '^$$' -fuzz FuzzLintNeverPanics -fuzztime 30s ./internal/lint
 
 # Regenerate the golden reference after an intentional numbers change.
 # Review the diff before committing: every change here is a change to the

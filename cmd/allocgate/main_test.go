@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDiag(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		want diag
+	}{
+		{
+			line: "internal/mpisim/event.go:326:8: &mailbox{} escapes to heap",
+			ok:   true,
+			want: diag{file: "internal/mpisim/event.go", line: 326, col: 8, msg: "&mailbox{} escapes to heap"},
+		},
+		{
+			line: "internal/sim/sim.go:614:13: moved to heap: leak",
+			ok:   true,
+			want: diag{file: "internal/sim/sim.go", line: 614, col: 13, msg: "moved to heap: leak"},
+		},
+		// The -m -m verbose header (trailing colon) and flow lines must
+		// be dropped, or every escape would double-count.
+		{line: "internal/mpisim/event.go:326:8: &mailbox{} escapes to heap:", ok: false},
+		{line: "internal/mpisim/event.go:326:8:   flow: {heap} = &{storage}:", ok: false},
+		// Inlining chatter and package headers are not verdicts.
+		{line: "internal/eventq/eventq.go:81:13: inlining call to (*Queue).less", ok: false},
+		{line: "# mlckpt/internal/eventq", ok: false},
+		{line: "internal/eventq/eventq.go:32:7: q does not escape", ok: false},
+		{line: "", ok: false},
+	}
+	for _, tc := range cases {
+		got, ok := parseDiag(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseDiag(%q) ok=%v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("parseDiag(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "allocgate.baseline")
+	current := map[string]int{
+		baselineKey("a/b.go", "(*T).M", "x escapes to heap"):    2,
+		baselineKey("a/b.go", "F", "moved to heap: y"):          1,
+		baselineKey("c/d.go", "(*U).N", "&u{} escapes to heap"): 1,
+	}
+	if err := writeBaseline(path, current); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(current) {
+		t.Fatalf("round trip: got %v, want %v", got, current)
+	}
+	for k, n := range current {
+		if got[k] != n {
+			t.Fatalf("round trip key %q: got %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestReadBaselineRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.baseline")
+	if err := os.WriteFile(path, []byte("not a record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	base := map[string]int{"a": 1, "b": 2, "c": 1}
+	current := map[string]int{"a": 2, "b": 1, "c": 1, "d": 1}
+	gains, losses := diffBaseline(base, current)
+	if len(gains) != 2 || gains[0] != "a" || gains[1] != "d" {
+		t.Fatalf("gains = %v, want [a d]", gains)
+	}
+	if len(losses) != 1 || losses[0] != "b" {
+		t.Fatalf("losses = %v, want [b]", losses)
+	}
+}
+
+func TestScanHotFuncs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/gate\n\ngo 1.22\n")
+	write("internal/k/k.go", `package k
+
+// Hot is annotated.
+//
+//mlckpt:hotpath
+func Hot() {}
+
+//mlckpt:hotpath
+func (q *Queue) Push() {}
+
+//mlckpt:hotpath
+func (q Queue) Peek() {}
+
+type Queue struct{}
+
+// Cold has no marker.
+func Cold() {}
+`)
+	// Test files and testdata are out of scope.
+	write("internal/k/k_test.go", "package k\n\n//mlckpt:hotpath\nfunc hotInTest() {}\n")
+	write("testdata/x.go", "package x\n\n//mlckpt:hotpath\nfunc ignored() {}\n")
+
+	hot, err := scanHotFuncs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := hot["internal/k/k.go"]
+	if len(fns) != 3 {
+		t.Fatalf("got %d hot funcs, want 3: %+v", len(fns), hot)
+	}
+	wantNames := map[string]bool{"Hot": true, "(*Queue).Push": true, "(Queue).Peek": true}
+	for _, fn := range fns {
+		if !wantNames[fn.name] {
+			t.Errorf("unexpected hot func name %q", fn.name)
+		}
+		if fn.start <= 0 || fn.end < fn.start {
+			t.Errorf("%s has bad span %d-%d", fn.name, fn.start, fn.end)
+		}
+	}
+	if len(hot) != 1 {
+		t.Fatalf("hot funcs outside internal/k/k.go: %+v", hot)
+	}
+}
+
+// TestGateEndToEnd drives the real tool — go build -gcflags='-m -m'
+// included — against a synthetic module: first -update writes a baseline,
+// a clean re-check passes, then an injected escape fails with the
+// file:line diagnostic.
+func TestGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler; skipped in -short")
+	}
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/gate\n\ngo 1.22\n")
+	const clean = `package k
+
+var sink *int
+
+//mlckpt:hotpath
+func Hot(x int) int {
+	return x * 2
+}
+`
+	const leaky = `package k
+
+var sink *int
+
+//mlckpt:hotpath
+func Hot(x int) int {
+	p := new(int)
+	*p = x
+	sink = p
+	return x * 2
+}
+`
+	write("internal/k/k.go", clean)
+	t.Chdir(dir)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-update"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-update exited %d: %s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean check exited %d: %s%s", code, stdout.String(), stderr.String())
+	}
+
+	write("internal/k/k.go", leaky)
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("leaky check exited %d, want 1: %s%s", code, stdout.String(), stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "internal/k/k.go:7:") || !strings.Contains(out, "Hot") {
+		t.Fatalf("failure diagnostic lacks file:line and function: %s", out)
+	}
+}

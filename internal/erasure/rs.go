@@ -103,6 +103,8 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 // EncodeInto computes the parity of data into the caller-owned parity
 // shards, overwriting their contents: no allocations on the steady-state
 // path. parity must hold exactly M shards of the common data shard length.
+//
+//mlckpt:hotpath
 func (c *Code) EncodeInto(data, parity [][]byte) error {
 	if len(data) != c.K || len(parity) != c.M {
 		return fmt.Errorf("%w: %d data + %d parity shards, want %d + %d",
@@ -174,6 +176,8 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 // the rebuilt shards come from arena (nil behaves like Reconstruct and
 // allocates fresh ones). The rebuilt entries of shards alias the arena's
 // buffers until its next Reset.
+//
+//mlckpt:hotpath
 func (c *Code) ReconstructInto(shards [][]byte, arena *Arena) error {
 	if len(shards) != c.K+c.M {
 		return fmt.Errorf("%w: %d shards, want %d", ErrShape, len(shards), c.K+c.M)
@@ -208,9 +212,11 @@ func (c *Code) ReconstructInto(shards [][]byte, arena *Arena) error {
 		}
 		var row []byte
 		if i < c.K {
+			//lint:allow hotpath per-reconstruct decode-matrix setup, O(K^2) bytes once per call, not per byte; the striped mulRows pass dominates
 			row = make([]byte, c.K)
 			row[i] = 1
 		} else {
+			//lint:allow hotpath per-reconstruct decode-matrix setup; the generator row must be copied because invertMatrix mutates it
 			row = append([]byte(nil), c.matrix[i-c.K]...)
 		}
 		rows = append(rows, row)

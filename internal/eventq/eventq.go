@@ -38,6 +38,8 @@ func (q *Queue) Reset() {
 }
 
 // Push schedules payload at time t.
+//
+//mlckpt:hotpath
 func (q *Queue) Push(t float64, payload int64) {
 	q.heap = append(q.heap, Item{Time: t, Payload: payload, seq: q.seq})
 	q.seq++
@@ -50,6 +52,8 @@ func (q *Queue) Min() Item { return q.heap[0] }
 
 // Pop removes and returns the earliest item: smallest time, then smallest
 // insertion sequence. It panics on an empty queue.
+//
+//mlckpt:hotpath
 func (q *Queue) Pop() Item {
 	top := q.heap[0]
 	last := len(q.heap) - 1

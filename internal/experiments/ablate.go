@@ -8,6 +8,10 @@ import (
 	"mlckpt/internal/sim"
 )
 
+// ablationSeed pins every simulator run of the ablation studies so the
+// rendered table is reproducible run to run.
+const ablationSeed uint64 = 77
+
 // AblateResult collects the design-choice studies of DESIGN.md §5 that are
 // not covered by a paper table/figure: outer-loop acceleration, the
 // analytic-vs-numeric scale gradient, level selection, the correlated
@@ -78,7 +82,7 @@ func Ablate(spec string, runs int) (AblateResult, error) {
 		JitterRatio:  0.3,
 		MaxWallClock: sc.MaxDays * failure.SecondsPerDay,
 	}
-	agg, err := sim.Simulate(base, runs, 77)
+	agg, err := sim.Simulate(base, runs, ablationSeed)
 	if err != nil {
 		return res, err
 	}
@@ -86,7 +90,7 @@ func Ablate(spec string, runs int) (AblateResult, error) {
 
 	noJit := base
 	noJit.JitterRatio = 0
-	agg, err = sim.Simulate(noJit, runs, 77)
+	agg, err = sim.Simulate(noJit, runs, ablationSeed)
 	if err != nil {
 		return res, err
 	}
@@ -94,13 +98,13 @@ func Ablate(spec string, runs int) (AblateResult, error) {
 
 	corr := base
 	corr.CorrelationWindow = 120
-	agg, err = sim.Simulate(corr, runs, 77)
+	agg, err = sim.Simulate(corr, runs, ablationSeed)
 	if err != nil {
 		return res, err
 	}
 	res.SimCorrelated = agg.WallClock.Mean / failure.SecondsPerDay
 	// Absorbed failures need the per-run results.
-	results, err := sim.RunMany(corr, runs, 77)
+	results, err := sim.RunMany(corr, runs, ablationSeed)
 	if err != nil {
 		return res, err
 	}

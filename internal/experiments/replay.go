@@ -39,7 +39,8 @@ func Replay(trace []failure.Event) (ReplayResult, error) {
 	}
 	// The seed is irrelevant in replay mode with zero jitter; any fixed
 	// value yields the identical run.
-	out.Res, err = sim.Run(cfg, stats.NewRNG(1))
+	const replaySeed uint64 = 1
+	out.Res, err = sim.Run(cfg, stats.NewRNG(replaySeed))
 	return out, err
 }
 

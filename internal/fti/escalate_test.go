@@ -224,8 +224,8 @@ func TestWorstCaseCrashSets(t *testing.T) {
 	checkpointAll(t, c, rankPayload)
 
 	victim := 3
-	partner := c.PartnerOf(victim)          // 4
-	parityHolder := c.parityHolder(0, 0)    // group 0's first parity host (in group 1)
+	partner := c.PartnerOf(victim)       // 4
+	parityHolder := c.parityHolder(0, 0) // group 0's first parity host (in group 1)
 	crash := []int{victim, partner, parityHolder}
 	if err := c.Crash(crash); err != nil {
 		t.Fatal(err)

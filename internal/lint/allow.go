@@ -1,44 +1,63 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
 
-// allowDirective is one parsed //lint:allow comment.
-type allowDirective struct {
-	check string
-	file  string
-	line  int
+// allowSpan is the source extent a directive governs: the outermost
+// statement that starts on the directive's line (end-of-line form) or
+// on the next line (standalone comment form). Attaching to the full
+// statement span — not just a line — is what makes a directive on a
+// multi-line wrapped statement, or on a case clause inside a
+// switch/select, suppress findings anywhere inside it.
+type allowSpan struct {
+	check      string
+	start, end int // line range, inclusive
 }
 
-// allowSet indexes directives by file and line for suppression lookups.
-type allowSet map[string]map[int][]string // file -> line -> checks allowed
+// allowSet indexes //lint:allow directives for suppression lookups.
+type allowSet struct {
+	// lines: file -> directive line -> checks. The primitive form: a
+	// directive always covers its own line and the line directly below,
+	// even where no statement is found (declarations, struct fields).
+	lines map[string]map[int][]string
+	// spans: file -> statement extents adopted by directives.
+	spans map[string][]allowSpan
+}
 
-// suppresses reports whether a directive covers the finding. A directive
-// applies to findings on its own line (end-of-line form) and on the line
-// directly below it (standalone comment form).
-func (s allowSet) suppresses(f Finding) bool {
-	lines := s[f.Pos.Filename]
-	if lines == nil {
-		return false
+func newAllowSet() *allowSet {
+	return &allowSet{
+		lines: map[string]map[int][]string{},
+		spans: map[string][]allowSpan{},
 	}
-	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, check := range lines[line] {
-			if check == f.Check {
-				return true
+}
+
+// suppresses reports whether any collected directive covers the finding.
+func (s *allowSet) suppresses(f Finding) bool {
+	if byLine := s.lines[f.Pos.Filename]; byLine != nil {
+		for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+			for _, check := range byLine[line] {
+				if check == f.Check {
+					return true
+				}
 			}
+		}
+	}
+	for _, sp := range s.spans[f.Pos.Filename] {
+		if sp.check == f.Check && f.Pos.Line >= sp.start && f.Pos.Line <= sp.end {
+			return true
 		}
 	}
 	return false
 }
 
-// collectAllows parses every //lint:allow directive in the unit. Directives
-// must name a known check and carry a non-empty reason; violations are
-// returned as findings under the "lintdirective" pseudo-check so the
-// escape hatch cannot silently rot.
-func collectAllows(u *Unit, known map[string]bool) (allowSet, []Finding) {
-	set := allowSet{}
+// collect parses every //lint:allow directive in the unit into the set.
+// Directives must name a known check and carry a non-empty reason;
+// violations are returned as findings under the "lintdirective"
+// pseudo-check so the escape hatch cannot silently rot.
+func (s *allowSet) collect(u *Unit, known map[string]bool) []Finding {
 	var bad []Finding
 	for _, file := range u.Files {
 		for _, cg := range file.Comments {
@@ -60,16 +79,52 @@ func collectAllows(u *Unit, known map[string]bool) (allowSet, []Finding) {
 					bad = append(bad, directiveFinding(pos, "//lint:allow "+fields[0]+" needs a justification after the check name"))
 					continue
 				}
-				byLine := set[pos.Filename]
+				byLine := s.lines[pos.Filename]
 				if byLine == nil {
 					byLine = map[int][]string{}
-					set[pos.Filename] = byLine
+					s.lines[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
 			}
 		}
+		s.adoptSpans(u, file)
 	}
-	return set, bad
+	return bad
+}
+
+// adoptSpans resolves each directive in the file to the outermost
+// statement starting on its line or the line below, and records that
+// statement's full line extent. Visiting in preorder guarantees the
+// outermost of several same-line statements wins.
+func (s *allowSet) adoptSpans(u *Unit, file *ast.File) {
+	name := u.Fset.Position(file.Pos()).Filename
+	byLine := s.lines[name]
+	if len(byLine) == 0 {
+		return
+	}
+	claimed := map[int]bool{} // directive line -> statement already adopted
+	ast.Inspect(file, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		start := u.Fset.Position(stmt.Pos()).Line
+		end := u.Fset.Position(stmt.End()).Line
+		for _, dirLine := range []int{start, start - 1} {
+			if claimed[dirLine] {
+				continue
+			}
+			checks, ok := byLine[dirLine]
+			if !ok {
+				continue
+			}
+			claimed[dirLine] = true
+			for _, check := range checks {
+				s.spans[name] = append(s.spans[name], allowSpan{check: check, start: start, end: end})
+			}
+		}
+		return true
+	})
 }
 
 func directiveFinding(pos token.Position, msg string) Finding {

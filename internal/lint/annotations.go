@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Machine-checked source annotations. The linter's module-wide analyzers
+// are driven by three //mlckpt: markers placed in a function's doc
+// comment (see docs/LINT.md for the full contract):
+//
+//	//mlckpt:hotpath
+//	    The function is a proven zero-steady-state-allocation surface.
+//	    The hotpath analyzer checks its body for allocation idioms and
+//	    cmd/allocgate pins its compiler escape diagnostics to
+//	    allocgate.baseline.
+//
+//	//mlckpt:fiber
+//	    The function runs as a cooperative continuation (an event-engine
+//	    fiber or an event-queue callback). The batonblock analyzer
+//	    proves no blocking operation is reachable from it.
+//
+//	//mlckpt:baton <reason>
+//	    The function is a sanctioned scheduler blocking primitive — the
+//	    baton handoff itself. batonblock does not descend into it. The
+//	    reason is mandatory, like //lint:allow.
+//
+// Unknown //mlckpt: markers and reasonless baton markers are reported
+// under the "lintdirective" pseudo-check so a typo cannot silently
+// disable a gate.
+
+const (
+	markerHotpath = "hotpath"
+	markerFiber   = "fiber"
+	markerBaton   = "baton"
+)
+
+// funcMarks is the parsed annotation state of one function declaration.
+type funcMarks struct {
+	hotpath     bool
+	fiber       bool
+	baton       bool
+	batonReason string
+}
+
+// parseFuncMarks reads the //mlckpt: markers from a declaration's doc
+// comment. Malformed markers are reported as lintdirective findings.
+func parseFuncMarks(u *Unit, decl *ast.FuncDecl) (funcMarks, []Finding) {
+	var marks funcMarks
+	var bad []Finding
+	if decl.Doc == nil {
+		return marks, nil
+	}
+	for _, c := range decl.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//mlckpt:")
+		if !ok {
+			continue
+		}
+		pos := u.Fset.Position(c.Pos())
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			bad = append(bad, directiveFinding(pos, "//mlckpt: needs a marker name (hotpath, fiber, or baton)"))
+			continue
+		}
+		switch fields[0] {
+		case markerHotpath:
+			marks.hotpath = true
+		case markerFiber:
+			marks.fiber = true
+		case markerBaton:
+			if len(fields) < 2 {
+				bad = append(bad, directiveFinding(pos, "//mlckpt:baton needs a justification after the marker"))
+				continue
+			}
+			marks.baton = true
+			marks.batonReason = strings.Join(fields[1:], " ")
+		default:
+			bad = append(bad, directiveFinding(pos, "//mlckpt: names unknown marker "+fields[0]+" (have hotpath, fiber, baton)"))
+		}
+	}
+	return marks, bad
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// batonblock proves the event scheduler's core liveness invariant: a
+// fiber continuation must never block. The cooperative engine in
+// internal/mpisim/event.go runs every rank on ONE goroutine, handing a
+// baton between fibers — if any code reachable from a fiber performs a
+// channel operation, takes a lock, or sleeps, the whole scheduler (and
+// with it the simulated machine) wedges. PR 7 documented this as prose;
+// this analyzer checks it.
+//
+// Roots are functions annotated //mlckpt:fiber (the event-engine
+// continuations and eventq callbacks). From each root the analyzer
+// walks the module call graph — through static calls, function
+// literals, and structural interface fan-out — and reports every
+// blocking operation it can reach, with the call path that reaches it.
+//
+// Two escapes keep the check precise:
+//
+//   - //mlckpt:baton <reason> marks a sanctioned scheduler primitive
+//     (the baton hand-off itself, or a goroutine-oracle rendezvous).
+//     Traversal does not descend into it.
+//   - The graph's structural exemptions (fork-join worker pools whose
+//     channels drain unconditionally, Lock/Unlock bounded critical
+//     sections) already remove blocking operations that cannot park a
+//     fiber; see effectiveBlocking in callgraph.go.
+
+const batonPathMax = 6 // call-path hops shown in a diagnostic
+
+// BatonBlockAnalyzer returns the module-wide fiber-blocking check.
+func BatonBlockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "batonblock",
+		Doc:       "blocking operation (chan/select/lock/sleep) reachable from an //mlckpt:fiber entry point of the single-goroutine event scheduler",
+		RunModule: runBatonBlock,
+	}
+}
+
+func runBatonBlock(g *Graph, units []*Unit) []Finding {
+	var roots []*FuncNode
+	for _, n := range g.Nodes() { // sorted: deterministic root order
+		if n.marks.fiber {
+			roots = append(roots, n)
+		}
+	}
+	var out []Finding
+	reported := map[string]bool{} // file:line:col -> already reported (first root wins)
+	for _, root := range roots {
+		visited := map[string]bool{}
+		walkFromFiber(g, root, []*FuncNode{root}, visited, reported, &out)
+	}
+	return out
+}
+
+// walkFromFiber DFS-walks the call graph from a fiber root, reporting
+// blocking operations. path holds the nodes from the root to cur,
+// inclusive.
+func walkFromFiber(g *Graph, cur *FuncNode, path []*FuncNode, visited, reported map[string]bool, out *[]Finding) {
+	if visited[cur.Symbol] {
+		return
+	}
+	visited[cur.Symbol] = true
+
+	root := path[0]
+	for _, op := range cur.Blocking {
+		pos := cur.Unit.Fset.Position(op.Pos)
+		key := pos.String()
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		*out = append(*out, Finding{
+			Check: "batonblock",
+			Pos:   pos,
+			Message: fmt.Sprintf(
+				"%s is reachable from fiber entry point %s (%s); a fiber blocking here parks the scheduler's only goroutine — restructure as an event, or mark a sanctioned primitive //mlckpt:baton <reason>",
+				op.Desc, root.Name, pathString(path)),
+		})
+	}
+
+	for _, cs := range cur.Calls {
+		for _, callee := range g.Callees(cs) {
+			if callee.marks.baton {
+				continue // sanctioned hand-off primitive: the boundary of the check
+			}
+			// Copy the path: siblings must not alias one growing slice.
+			next := append(append([]*FuncNode(nil), path...), callee)
+			walkFromFiber(g, callee, next, visited, reported, out)
+		}
+	}
+}
+
+// pathString renders a call path for a diagnostic, eliding the middle of
+// long chains.
+func pathString(path []*FuncNode) string {
+	names := make([]string, 0, len(path))
+	for _, n := range path {
+		names = append(names, n.Name)
+	}
+	if len(names) > batonPathMax {
+		head := names[:batonPathMax-2]
+		names = append(append(head, "..."), names[len(names)-1])
+	}
+	return strings.Join(names, " -> ")
+}

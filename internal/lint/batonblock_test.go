@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatonBlock(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want map[int][]string
+	}{
+		{
+			name: "direct blocking ops in a fiber",
+			src: `package fixture
+
+import "time"
+
+//mlckpt:fiber
+func Step(ch chan int) {
+	time.Sleep(1)
+	ch <- 1
+	<-ch
+}
+`,
+			want: map[int][]string{7: {"batonblock"}, 8: {"batonblock"}, 9: {"batonblock"}},
+		},
+		{
+			name: "blocking reached through a call chain",
+			src: `package fixture
+
+//mlckpt:fiber
+func Step(ch chan int) {
+	helper(ch)
+}
+
+func helper(ch chan int) {
+	inner(ch)
+}
+
+func inner(ch chan int) {
+	<-ch
+}
+`,
+			want: map[int][]string{13: {"batonblock"}},
+		},
+		{
+			name: "baton-marked callee is the traversal boundary",
+			src: `package fixture
+
+//mlckpt:fiber
+func Step(ch chan struct{}) {
+	park(ch)
+}
+
+//mlckpt:baton sanctioned hand-off of this fixture
+func park(ch chan struct{}) {
+	<-ch
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "select and sync primitives count as blocking",
+			src: `package fixture
+
+import "sync"
+
+//mlckpt:fiber
+func Step(ch chan int, mu *sync.Mutex, wg *sync.WaitGroup) {
+	select {
+	case <-ch:
+	}
+	mu.Lock()
+	wg.Wait()
+}
+`,
+			want: map[int][]string{7: {"batonblock"}, 10: {"batonblock"}, 11: {"batonblock"}},
+		},
+		{
+			name: "fork-join worker pool is structurally exempt",
+			src: `package fixture
+
+import "sync"
+
+//mlckpt:fiber
+func Step(items []int) {
+	var wg sync.WaitGroup
+	ch := make(chan int, len(items))
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+		ch <- 1
+	}
+	wg.Wait()
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "bounded critical section is structurally exempt",
+			src: `package fixture
+
+import "sync"
+
+//mlckpt:fiber
+func Step(mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "function literal passed through the caller is walked",
+			src: `package fixture
+
+//mlckpt:fiber
+func Step(ch chan int) {
+	run(func() {
+		<-ch
+	})
+}
+
+func run(f func()) { f() }
+`,
+			want: map[int][]string{6: {"batonblock"}},
+		},
+		{
+			name: "unmarked functions are not roots",
+			src: `package fixture
+
+func NotAFiber(ch chan int) {
+	<-ch
+}
+`,
+			want: map[int][]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, "internal/mpisim", tc.src, false)
+			checkLines(t, u, BatonBlockAnalyzer(), tc.want)
+		})
+	}
+}
+
+// TestBatonBlockPathInDiagnostic pins that the message names the root and
+// the call chain that reaches the blocking op.
+func TestBatonBlockPathInDiagnostic(t *testing.T) {
+	src := `package fixture
+
+//mlckpt:fiber
+func Entry(ch chan int) {
+	mid(ch)
+}
+
+func mid(ch chan int) { leaf(ch) }
+
+func leaf(ch chan int) { <-ch }
+`
+	u := fixtureUnit(t, "internal/mpisim", src, false)
+	findings := Run([]*Unit{u}, []*Analyzer{BatonBlockAnalyzer()})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	msg := findings[0].Message
+	for _, needle := range []string{"Entry", "Entry -> mid -> leaf", "//mlckpt:baton"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("message %q does not mention %q", msg, needle)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// calleeNames resolves a node's call sites through the graph and returns
+// the sorted set of callee symbols.
+func calleeNames(g *Graph, sym string) []string {
+	n := g.Node(sym)
+	if n == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, cs := range n.Calls {
+		for _, c := range g.Callees(cs) {
+			set[c.Symbol] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallGraphStaticEdges(t *testing.T) {
+	src := `package fixture
+
+func top() { mid() }
+func mid() { leaf() }
+func leaf() {}
+`
+	u := fixtureUnit(t, "internal/sim", src, false)
+	g := BuildGraph([]*Unit{u})
+	got := calleeNames(g, "internal/sim.top")
+	if len(got) != 1 || got[0] != "internal/sim.mid" {
+		t.Fatalf("top callees = %v, want [internal/sim.mid]", got)
+	}
+	if n := g.Node("internal/sim.leaf"); n == nil {
+		t.Fatal("leaf not in graph")
+	}
+}
+
+func TestCallGraphInterfaceFanOut(t *testing.T) {
+	src := `package fixture
+
+type runner interface{ Go(x int) }
+
+type a struct{}
+type b struct{}
+type other struct{}
+
+func (a) Go(x int)        {}
+func (b) Go(x int)        {}
+func (other) Go(x, y int) {} // different arity: not a candidate
+
+func dispatch(r runner) { r.Go(1) }
+`
+	u := fixtureUnit(t, "internal/sim", src, false)
+	g := BuildGraph([]*Unit{u})
+	got := calleeNames(g, "internal/sim.dispatch")
+	want := []string{"internal/sim.a.Go", "internal/sim.b.Go"}
+	if len(got) != len(want) {
+		t.Fatalf("dispatch callees = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch callees = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCallGraphFuncLitOwnerAndGoExclusion(t *testing.T) {
+	src := `package fixture
+
+func host(ch chan int) {
+	called := func() { <-ch }
+	called()
+	go func() { <-ch }()
+}
+`
+	u := fixtureUnit(t, "internal/sim", src, false)
+	g := BuildGraph([]*Unit{u})
+	host := g.Node("internal/sim.host")
+	if host == nil {
+		t.Fatal("host not in graph")
+	}
+	if !host.hasGo {
+		t.Error("go statement not recorded on host")
+	}
+	var lits []*FuncNode
+	for _, n := range g.Nodes() {
+		if n.Lit != nil {
+			lits = append(lits, n)
+			if n.owner != host {
+				t.Errorf("literal %s has owner %v, want host", n.Symbol, n.owner)
+			}
+		}
+	}
+	// The invoked literal gets a node and a call edge; the go-launched
+	// one runs on its own goroutine — it gets neither, so it cannot
+	// contribute to fiber reachability.
+	if len(lits) != 1 {
+		t.Fatalf("got %d literal nodes, want 1 (go-launched literal excluded)", len(lits))
+	}
+	callees := calleeNames(g, "internal/sim.host")
+	if len(callees) != 1 || !strings.Contains(callees[0], "lit") {
+		t.Fatalf("host callees = %v, want exactly the invoked literal", callees)
+	}
+}
+
+func TestCallGraphNodesDeterministic(t *testing.T) {
+	src := `package fixture
+
+func c() {}
+func a() {}
+func b() {}
+`
+	u := fixtureUnit(t, "internal/sim", src, false)
+	g := BuildGraph([]*Unit{u})
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Symbol >= nodes[i].Symbol {
+			t.Fatalf("Nodes() not sorted: %q before %q", nodes[i-1].Symbol, nodes[i].Symbol)
+		}
+	}
+}

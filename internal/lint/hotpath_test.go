@@ -1,0 +1,209 @@
+package lint
+
+import "testing"
+
+func TestHotPath(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want map[int][]string
+	}{
+		{
+			name: "unannotated functions are out of contract",
+			src: `package fixture
+
+func Free() []int {
+	out := make([]int, 0)
+	for i := 0; i < 4; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "make and new in a loop",
+			src: `package fixture
+
+//mlckpt:hotpath
+func Hot(n int) {
+	buf := make([]int, n) // hoisted: fine
+	for i := 0; i < n; i++ {
+		tmp := make([]int, 1)
+		p := new(int)
+		buf[i], *p = tmp[0], i
+	}
+	_ = buf
+}
+`,
+			want: map[int][]string{7: {"hotpath"}, 8: {"hotpath"}},
+		},
+		{
+			name: "self-append is exempt, cross-append is not",
+			src: `package fixture
+
+//mlckpt:hotpath
+func Hot(dst, src []int) []int {
+	dst = append(dst, 1)
+	other := append(src, 2)
+	_ = other
+	return dst
+}
+`,
+			want: map[int][]string{6: {"hotpath"}},
+		},
+		{
+			name: "string concatenation anywhere",
+			src: `package fixture
+
+//mlckpt:hotpath
+func Hot(a, b string) int {
+	s := a + b
+	return len(s)
+}
+`,
+			want: map[int][]string{5: {"hotpath"}},
+		},
+		{
+			name: "interface boxing at a call site",
+			src: `package fixture
+
+func sink(v any) {}
+
+//mlckpt:hotpath
+func Hot(x int, p *int) {
+	sink(x)
+	sink(p)
+	sink(nil)
+}
+`,
+			// Only the non-pointer-shaped value boxes.
+			want: map[int][]string{7: {"hotpath"}},
+		},
+		{
+			name: "cold exits may allocate",
+			src: `package fixture
+
+import "fmt"
+
+//mlckpt:hotpath
+func Hot(xs []int) int {
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("empty: %d", len(xs)))
+	}
+	if len(xs) == 1 {
+		return len(fmt.Sprintf("%d", xs[0]))
+	}
+	return xs[0]
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "capturing closure in a loop",
+			src: `package fixture
+
+//mlckpt:hotpath
+func Hot(xs []int, apply func(func())) {
+	total := 0
+	for _, x := range xs {
+		x := x
+		apply(func() { total += x })
+	}
+	_ = total
+}
+`,
+			want: map[int][]string{8: {"hotpath"}},
+		},
+		{
+			name: "map literal anywhere, composite literal only in loops",
+			src: `package fixture
+
+type pt struct{ x, y int }
+
+//mlckpt:hotpath
+func Hot(n int) {
+	base := pt{1, 2} // value literal outside a loop: stack, fine
+	m := map[int]int{}
+	for i := 0; i < n; i++ {
+		q := pt{i, i}
+		_ = q
+	}
+	_, _ = base, m
+}
+`,
+			want: map[int][]string{8: {"hotpath"}, 10: {"hotpath"}},
+		},
+		{
+			name: "string byte conversion in a loop",
+			src: `package fixture
+
+//mlckpt:hotpath
+func Hot(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		n += len([]byte(k))
+	}
+	return n
+}
+`,
+			want: map[int][]string{7: {"hotpath"}},
+		},
+		{
+			name: "allow directive with a reason suppresses",
+			src: `package fixture
+
+//mlckpt:hotpath
+func Hot(n int) {
+	for i := 0; i < n; i++ {
+		//lint:allow hotpath per-call setup, amortized across the striped pass below
+		tmp := make([]int, 1)
+		_ = tmp
+	}
+}
+`,
+			want: map[int][]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, "internal/erasure", tc.src, false)
+			checkLines(t, u, HotPathAnalyzer(), tc.want)
+		})
+	}
+}
+
+// TestMarkerParsing pins the //mlckpt: marker grammar: unknown markers and
+// a reasonless baton are lintdirective findings, valid markers are silent.
+func TestMarkerParsing(t *testing.T) {
+	src := `package fixture
+
+//mlckpt:hotpath
+func a() {}
+
+//mlckpt:baton justified reason here
+func b(ch chan int) { <-ch }
+
+//mlckpt:baton
+func c() {}
+
+//mlckpt:frobnicate
+func d() {}
+`
+	u := fixtureUnit(t, "internal/mpisim", src, false)
+	findings := Run([]*Unit{u}, []*Analyzer{BatonBlockAnalyzer()})
+	got := map[int]string{}
+	for _, f := range findings {
+		got[f.Pos.Line] = f.Check
+	}
+	want := map[int]string{9: "lintdirective", 12: "lintdirective"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for line, check := range want {
+		if got[line] != check {
+			t.Fatalf("line %d: got %q, want %q (all: %v)", line, got[line], check, got)
+		}
+	}
+}

@@ -73,11 +73,15 @@ func (u *Unit) isTestFile(n ast.Node) bool {
 	return strings.HasSuffix(u.filename(n), "_test.go")
 }
 
-// Analyzer is one named check over a type-checked unit.
+// Analyzer is one named check. Per-unit analyzers set Run and see one
+// type-checked unit at a time; module-wide analyzers set RunModule and
+// receive the intra-module call graph built over every loaded unit
+// (callgraph.go). An analyzer sets exactly one of the two.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Unit) []Finding
+	Name      string
+	Doc       string
+	Run       func(*Unit) []Finding
+	RunModule func(*Graph, []*Unit) []Finding
 }
 
 // Analyzers returns the full suite in reporting order.
@@ -87,6 +91,9 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer(),
 		FloatEqAnalyzer(),
 		GoroutineCaptureAnalyzer(),
+		SeedFlowAnalyzer(),
+		BatonBlockAnalyzer(),
+		HotPathAnalyzer(),
 	}
 }
 
@@ -102,7 +109,8 @@ func AnalyzerNames() []string {
 // Run executes the given analyzers over the units, applies //lint:allow
 // suppression, and returns the surviving findings sorted by position.
 // Malformed or reasonless allow directives are reported under the
-// "lintdirective" pseudo-check.
+// "lintdirective" pseudo-check. When any module-wide analyzer is
+// selected, the call graph is built once and shared.
 func Run(units []*Unit, analyzers []*Analyzer) []Finding {
 	// Directives are validated against the full registry, not just the
 	// analyzers selected for this run, so `-checks floateq` does not
@@ -114,17 +122,43 @@ func Run(units []*Unit, analyzers []*Analyzer) []Finding {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+
+	// Allow directives are collected module-wide up front: a module
+	// analyzer may report into any file, so suppression cannot be
+	// unit-scoped. File names are unique across units, so merging per-
+	// unit collections is lossless.
+	allows := newAllowSet()
 	var out []Finding
 	for _, u := range units {
-		allows, bad := collectAllows(u, known)
-		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(u) {
-				if allows.suppresses(f) {
-					continue
-				}
-				out = append(out, f)
+		out = append(out, allows.collect(u, known)...)
+	}
+
+	var g *Graph
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			g = BuildGraph(units)
+			// Malformed //mlckpt: markers surface exactly once, like
+			// malformed //lint:allow directives.
+			out = append(out, g.directiveFindings...)
+			break
+		}
+	}
+
+	for _, a := range analyzers {
+		var found []Finding
+		switch {
+		case a.RunModule != nil:
+			found = a.RunModule(g, units)
+		default:
+			for _, u := range units {
+				found = append(found, a.Run(u)...)
 			}
+		}
+		for _, f := range found {
+			if allows.suppresses(f) {
+				continue
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -67,6 +67,91 @@ func Total(xs []float64) float64 {
 	return sum
 }
 `,
+		// Defect 5: a literal seed at an RNG construction site in a model
+		// package. The sibling function shows the exempt idiom — a seed
+		// drawn from a Config field flows through untouched.
+		"internal/sim/seed.go": `package sim
+
+import "math/rand"
+
+type Config struct {
+	Seed int64
+}
+
+func Fresh() *rand.Rand {
+	return rand.New(rand.NewSource(99))
+}
+
+func FromConfig(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+`,
+		// Defect 6: a blocking call (time.Sleep, behind one hop) reachable
+		// from an //mlckpt:fiber entry point. The sibling entry point only
+		// blocks through a //mlckpt:baton-marked primitive — exempt.
+		"internal/mpisim/fiber.go": `package mpisim
+
+import "time"
+
+//mlckpt:fiber
+func Step() {
+	helper()
+}
+
+func helper() {
+	time.Sleep(1)
+}
+
+//mlckpt:baton the sanctioned hand-off primitive of this fixture
+func park(ch chan struct{}) {
+	<-ch
+}
+
+//mlckpt:fiber
+func Await(ch chan struct{}) {
+	park(ch)
+}
+`,
+		// Defect 7: a per-iteration allocation inside an //mlckpt:hotpath
+		// function. The sibling shows the exempt idiom — boxing on a
+		// cold panic exit does not count against the hot path.
+		"internal/heat/hot.go": `package heat
+
+import "fmt"
+
+//mlckpt:hotpath
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		buf := make([]float64, 1)
+		buf[0] = x
+		s += buf[0]
+	}
+	return s
+}
+
+//mlckpt:hotpath
+func First(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("empty input of width %d", len(xs)))
+	}
+	return xs[0]
+}
+`,
+		// Regression (span-scoped //lint:allow): the directive sits on a
+		// wrapped statement whose second comparison lands two lines below
+		// it — line-based matching missed that; span adoption must not.
+		"internal/model/span.go": `package model
+
+func Sentinel(a, b float64) bool {
+	//lint:allow floateq sentinel comparison: both operands are exact stored values, and the wrapped second clause must be covered too
+	if a == b ||
+		b == 0 {
+		return true
+	}
+	return false
+}
+`,
 		// A clean package plus an external test package, to exercise the
 		// loader's unit splitting without adding findings.
 		"internal/stats/ok.go": `package stats
@@ -117,6 +202,9 @@ func TestMean(t *testing.T) {
 		"maporder":          "internal/experiments/table.go:5",
 		"floateq":           "internal/model/eq.go:3",
 		"goroutine-capture": "internal/sweep/pool.go:7",
+		"seedflow":          "internal/sim/seed.go:10",
+		"batonblock":        "internal/mpisim/fiber.go:11",
+		"hotpath":           "internal/heat/hot.go:9",
 	}
 	if len(findings) != len(want) {
 		t.Fatalf("got %d findings, want %d: %v", len(findings), len(want), findings)

@@ -21,6 +21,17 @@ var ModelPackages = []string{
 	// key): any ambient randomness or clock would break the byte-level
 	// reproducibility the chaos grid asserts (docs/FAULTS.md).
 	"internal/inject",
+	// Widened net (ISSUE 8): everything the real-run pipeline touches is
+	// model-bearing — checkpoint storage and FTI recovery feed the digests
+	// the chaos grid compares, eventq orders every simulated event, the
+	// application kernels (heat, jacobi) produce the checkpointed bytes,
+	// and the erasure kernels must be bit-stable across worker counts.
+	"internal/fti",
+	"internal/storage",
+	"internal/eventq",
+	"internal/heat",
+	"internal/jacobi",
+	"internal/erasure",
 }
 
 // bannedCalls maps import path -> function name -> remedy note. An empty

@@ -51,7 +51,7 @@ func bad() int {
 		},
 		{
 			name: "same calls outside model packages are fine",
-			path: "internal/erasure",
+			path: "internal/render",
 			src: `package fixture
 
 import "time"

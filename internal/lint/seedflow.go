@@ -1,0 +1,711 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// seedflow is a whitelist taint analysis over RNG seeds. The paper
+// reproduction's determinism contract (docs/FAULTS.md) is that every
+// random decision is a pure function of (root seed, identity key): seeds
+// reach rand sources only via stats.DeriveSeed, a configuration seed
+// field, or a literal in a test. A seed minted from the wall clock, a
+// pointer, or a worker index silently varies run to run (or worse,
+// collides across workers), which breaks the byte-identical golden and
+// chaos comparisons without failing any test.
+//
+// Sinks are the seed arguments of stats.NewRNG and rand.NewSource (v1
+// and v2). An expression is approved when it is built from:
+//
+//   - a stats.DeriveSeed call,
+//   - a field whose name contains "seed" (the Config convention),
+//   - a method call on the stats RNG (Uint64, Split, ...),
+//   - a literal — in a _test.go file (elsewhere a bare literal seed is
+//     flagged: it belongs in a Config field or a test),
+//   - arithmetic/conversions over approved values,
+//   - a local variable every assignment of which is approved,
+//   - a call to a module helper whose returns are approved (checked
+//     recursively through the call graph), or
+//   - a parameter of the enclosing function — which makes that function
+//     a seed *conduit*: every module call site in a gated package is
+//     then checked against the same rules, transitively.
+//
+// Anything else is reported: time.Now().UnixNano(), uintptr-of-pointer
+// hashes, loop indices, and unresolvable values all fall out of the
+// whitelist automatically.
+type seedStatus uint8
+
+const (
+	seedBad      seedStatus = iota
+	seedLiteral             // constant-only: fine in tests, flagged at a sink elsewhere
+	seedApproved            // derived from an approved source
+)
+
+// SeedFlowAnalyzer returns the module-wide seed-taint check.
+func SeedFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "seedflow",
+		Doc:       "RNG seeds in model packages must flow from stats.DeriveSeed, a seed config field, or a test literal",
+		RunModule: runSeedFlow,
+	}
+}
+
+// seedResult is one taint evaluation: the status, the enclosing-function
+// parameter indices the value depends on (meaningful when approved), and
+// the first offending sub-expression when bad.
+type seedResult struct {
+	status seedStatus
+	deps   []int
+	badPos token.Pos
+	badWhy string
+}
+
+func bad(pos token.Pos, why string) seedResult {
+	return seedResult{status: seedBad, badPos: pos, badWhy: why}
+}
+
+// seedEval evaluates expressions in the context of one function node.
+type seedEval struct {
+	g    *Graph
+	node *FuncNode
+	// helpers guards the return-summary recursion against cycles; a
+	// cycle resolves to approved-no-deps (recursion among seed helpers
+	// is vanishingly rare, and resolving to bad would make every
+	// mutually recursive helper a false positive).
+	helpers map[string]bool
+}
+
+// runSeedFlow checks every sink in the gated packages, then chases seed
+// conduits (functions whose parameters flow into a sink) to their call
+// sites until the frontier is empty.
+func runSeedFlow(g *Graph, units []*Unit) []Finding {
+	var out []Finding
+
+	type conduit struct {
+		node  *FuncNode
+		param int
+		chain string // human-readable sink path for diagnostics
+	}
+	var work []conduit
+	seen := map[string]bool{} // "symbol#param" -> queued
+
+	enqueue := func(n *FuncNode, deps []int, chain string) {
+		for _, p := range deps {
+			key := fmt.Sprintf("%s#%d", n.Symbol, p)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			work = append(work, conduit{node: n, param: p, chain: chain})
+		}
+	}
+
+	// Phase 1: direct sinks. Only declarations are walked (a walk covers
+	// its nested literals); evaluation context is always the enclosing
+	// declaration, whose scope holds a literal's free variables. Test
+	// files are out of contract entirely: tests pick seeds deliberately
+	// (literals, seed matrices, loop sweeps), and wall-clock seeding
+	// there is already caught by the nondeterminism analyzer.
+	for _, n := range g.Nodes() {
+		if n.Decl == nil || !gatedForSeeds(n.Unit) || n.body() == nil || n.Unit.isTestFile(n.Decl) {
+			continue
+		}
+		node := n
+		ast.Inspect(n.body(), func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sink := sinkName(node.Unit, call)
+			if sink == "" || len(call.Args) == 0 {
+				return true
+			}
+			ev := &seedEval{g: g, node: node, helpers: map[string]bool{}}
+			res := ev.expr(call.Args[0])
+			switch {
+			case res.status == seedBad:
+				out = append(out, seedFinding(node.Unit, res, sink))
+			case res.status == seedLiteral:
+				out = append(out, Finding{
+					Check: "seedflow",
+					Pos:   node.Unit.Fset.Position(call.Args[0].Pos()),
+					Message: fmt.Sprintf(
+						"literal seed for %s outside a test: hoist it into a Config seed field or a *Seed* constant, or derive it with stats.DeriveSeed", sink),
+				})
+			case res.status == seedApproved:
+				enqueue(node, res.deps, sink+" in "+node.Name)
+			}
+			return true
+		})
+	}
+
+	// Phase 2: conduit call sites, to a fixpoint.
+	for len(work) > 0 {
+		c := work[0]
+		work = work[1:]
+		paramName := paramNameAt(c.node, c.param)
+		for _, caller := range g.Nodes() {
+			ctx := caller.owner
+			if ctx == nil {
+				ctx = caller
+			}
+			for _, cs := range caller.Calls {
+				if cs.Callee != c.node.Symbol || cs.Call == nil || c.param >= len(cs.Call.Args) {
+					continue
+				}
+				if !gatedForSeeds(caller.Unit) {
+					continue // cmd/ wiring and the like: out of contract
+				}
+				arg := cs.Call.Args[c.param]
+				if caller.Unit.isTestFile(arg) {
+					continue // tests pick their seeds deliberately
+				}
+				ev := &seedEval{g: g, node: ctx, helpers: map[string]bool{}}
+				res := ev.expr(arg)
+				switch {
+				case res.status == seedBad:
+					out = append(out, seedFinding(caller.Unit, res,
+						fmt.Sprintf("seed parameter %q of %s (reaching %s)", paramName, c.node.Name, c.chain)))
+				case res.status == seedLiteral:
+					out = append(out, Finding{
+						Check: "seedflow",
+						Pos:   caller.Unit.Fset.Position(arg.Pos()),
+						Message: fmt.Sprintf(
+							"literal seed for parameter %q of %s (reaching %s) outside a test: hoist it into a Config seed field or a *Seed* constant, or derive it with stats.DeriveSeed",
+							paramName, c.node.Name, c.chain),
+					})
+				case res.status == seedApproved:
+					enqueue(ctx, res.deps, c.chain)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func seedFinding(u *Unit, res seedResult, sink string) Finding {
+	return Finding{
+		Check: "seedflow",
+		Pos:   u.Fset.Position(res.badPos),
+		Message: fmt.Sprintf(
+			"seed for %s does not flow from stats.DeriveSeed, a seed config field, or a test literal: %s", sink, res.badWhy),
+	}
+}
+
+// gatedForSeeds: the seed contract applies to the model-bearing packages
+// except internal/stats itself, which implements the RNG.
+func gatedForSeeds(u *Unit) bool {
+	if !inModelPackage(u) {
+		return false
+	}
+	path := strings.TrimSuffix(u.Path, "_test")
+	return path != "internal/stats" && !strings.HasPrefix(path, "internal/stats/")
+}
+
+// body returns the function's body node regardless of declaration form.
+func (n *FuncNode) body() ast.Node {
+	switch {
+	case n.Decl != nil && n.Decl.Body != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// sinkName identifies a seed sink call: "stats.NewRNG" or
+// "rand.NewSource" (either rand version), else "".
+func sinkName(u *Unit, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	f, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return ""
+	}
+	path := f.Pkg().Path()
+	switch {
+	case isStatsPath(path) && f.Name() == "NewRNG":
+		return "stats.NewRNG"
+	case (path == "math/rand" || path == "math/rand/v2") && f.Name() == "NewSource":
+		return "rand.NewSource"
+	}
+	return ""
+}
+
+// isStatsPath matches the module's stats package by path tail so the
+// check works identically inside test fixture modules.
+func isStatsPath(path string) bool {
+	return path == "stats" || strings.HasSuffix(path, "/stats")
+}
+
+func isStatsRNG(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "RNG" && isStatsPath(n.Obj().Pkg().Path())
+}
+
+// paramObjects resolves the declared parameter objects of a node, in
+// order.
+func paramObjects(n *FuncNode) []types.Object {
+	var fields *ast.FieldList
+	switch {
+	case n.Decl != nil:
+		fields = n.Decl.Type.Params
+	case n.Lit != nil:
+		fields = n.Lit.Type.Params
+	}
+	if fields == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			objs = append(objs, n.Unit.Info.Defs[name])
+		}
+		if len(f.Names) == 0 {
+			objs = append(objs, nil) // unnamed: cannot flow anywhere
+		}
+	}
+	return objs
+}
+
+func paramNameAt(n *FuncNode, idx int) string {
+	objs := paramObjects(n)
+	if idx < len(objs) && objs[idx] != nil {
+		return objs[idx].Name()
+	}
+	return fmt.Sprintf("#%d", idx)
+}
+
+// expr is the taint evaluator.
+func (e *seedEval) expr(x ast.Expr) seedResult {
+	u := e.node.Unit
+	switch v := x.(type) {
+	case *ast.ParenExpr:
+		return e.expr(v.X)
+
+	case *ast.BasicLit:
+		if u.isTestFile(v) {
+			return seedResult{status: seedApproved}
+		}
+		return seedResult{status: seedLiteral}
+
+	case *ast.UnaryExpr:
+		switch v.Op {
+		case token.ADD, token.SUB, token.XOR:
+			return e.expr(v.X)
+		}
+		return bad(v.Pos(), "operator "+v.Op.String()+" is not seed arithmetic")
+
+	case *ast.BinaryExpr:
+		l, r := e.expr(v.X), e.expr(v.Y)
+		return combine(l, r)
+
+	case *ast.Ident:
+		return e.ident(v)
+
+	case *ast.IndexExpr:
+		return e.index(v)
+
+	case *ast.SelectorExpr:
+		// A field (or package-level value) whose name carries the seed
+		// convention is an approved source by contract.
+		if strings.Contains(strings.ToLower(v.Sel.Name), "seed") {
+			return seedResult{status: seedApproved}
+		}
+		return bad(v.Pos(), fmt.Sprintf("%s is not a seed field (name the field *Seed* or derive with stats.DeriveSeed)", types.ExprString(v)))
+
+	case *ast.CallExpr:
+		return e.call(v)
+	}
+	return bad(x.Pos(), fmt.Sprintf("expression %s cannot be proven seed-safe", types.ExprString(x)))
+}
+
+// combine merges two operand results of an arithmetic expression.
+func combine(l, r seedResult) seedResult {
+	// Approved is the top of the lattice: mixing an approved source into
+	// any expression yields a value derived from it (rootSeed+i is the
+	// standard distinct-per-worker derivation). Without an approved
+	// operand, a bad source poisons the result (workerIndex+42 is still
+	// just the worker index), and two literals stay a literal.
+	out := seedResult{deps: append(append([]int(nil), l.deps...), r.deps...)}
+	switch {
+	case l.status == seedApproved || r.status == seedApproved:
+		out.status = seedApproved
+	case l.status == seedBad:
+		return l
+	case r.status == seedBad:
+		return r
+	default:
+		out.status = seedLiteral
+	}
+	return out
+}
+
+// ident resolves a name: constants behave like literals, enclosing-
+// function parameters become dependencies, and local variables are
+// traced through every assignment that targets them.
+func (e *seedEval) ident(id *ast.Ident) seedResult {
+	u := e.node.Unit
+	obj := u.Info.Uses[id]
+	if obj == nil {
+		obj = u.Info.Defs[id]
+	}
+	switch o := obj.(type) {
+	case *types.Const:
+		// A named constant carrying the seed convention is a deliberate
+		// pin, the named form of a test literal (chaosRootSeed and
+		// friends); an anonymous constant stays a literal.
+		if u.isTestFile(id) || strings.Contains(strings.ToLower(o.Name()), "seed") {
+			return seedResult{status: seedApproved}
+		}
+		return seedResult{status: seedLiteral}
+	case *types.Var:
+		for i, p := range paramObjects(e.node) {
+			if p != nil && p == o {
+				return seedResult{status: seedApproved, deps: []int{i}}
+			}
+		}
+		if isLitParam(e.node, o) {
+			// Parameters of nested literals have no statically
+			// enumerable call sites; accept them rather than flag every
+			// closure. The declaration's own parameters still chain.
+			return seedResult{status: seedApproved}
+		}
+		return e.traceVar(id, o)
+	case nil:
+		return bad(id.Pos(), id.Name+" does not resolve (type information degraded)")
+	}
+	return bad(id.Pos(), id.Name+" is not a constant, parameter, or traceable variable")
+}
+
+// isLitParam reports whether obj is a parameter of a function literal
+// nested anywhere in the node's body.
+func isLitParam(n *FuncNode, obj *types.Var) bool {
+	body := n.body()
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok || found {
+			return !found
+		}
+		if lit.Type.Params == nil {
+			return true
+		}
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				if n.Unit.Info.Defs[name] == types.Object(obj) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// index traces base[i] (and base[i][j], by index depth) through every
+// element assignment in the function: simSeeds[pi] is approved when
+// every `simSeeds[k] = ...` right-hand side is. The allocation
+// (`simSeeds = make(...)`, depth 0) does not count as an element write.
+func (e *seedEval) index(ix *ast.IndexExpr) seedResult {
+	root := rootIdent(ix)
+	if root == nil {
+		return bad(ix.Pos(), types.ExprString(ix)+" is not rooted in a variable")
+	}
+	u := e.node.Unit
+	obj, _ := u.Info.Uses[root].(*types.Var)
+	if obj == nil {
+		obj, _ = u.Info.Defs[root].(*types.Var)
+	}
+	if obj == nil {
+		return bad(ix.Pos(), root.Name+" does not resolve (type information degraded)")
+	}
+	body := e.node.body()
+	if body == nil {
+		return bad(ix.Pos(), root.Name+" has no traceable definition")
+	}
+	depth := indexDepth(ix)
+	var acc *seedResult
+	ast.Inspect(body, func(n ast.Node) bool {
+		asn, ok := n.(*ast.AssignStmt)
+		if !ok || len(asn.Lhs) != len(asn.Rhs) {
+			return true
+		}
+		for i, lhs := range asn.Lhs {
+			lix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok || indexDepth(lix) != depth {
+				continue
+			}
+			lroot := rootIdent(lix)
+			if lroot == nil {
+				continue
+			}
+			lobj := u.Info.Uses[lroot]
+			if lobj == nil {
+				lobj = u.Info.Defs[lroot]
+			}
+			if lobj != types.Object(obj) {
+				continue
+			}
+			r := e.expr(asn.Rhs[i])
+			if acc == nil {
+				acc = &r
+			} else {
+				c := combine(*acc, r)
+				if r.status < c.status {
+					c.status = r.status
+					c.badPos, c.badWhy = r.badPos, r.badWhy
+				}
+				acc = &c
+			}
+		}
+		return true
+	})
+	if acc == nil {
+		return bad(ix.Pos(), fmt.Sprintf("no element assignment to %s is traceable in this function", root.Name))
+	}
+	return *acc
+}
+
+// indexDepth counts the chained index levels of an expression:
+// a[i] -> 1, a[i][j] -> 2.
+func indexDepth(ix *ast.IndexExpr) int {
+	depth := 0
+	var cur ast.Expr = ix
+	for {
+		nx, ok := ast.Unparen(cur).(*ast.IndexExpr)
+		if !ok {
+			return depth
+		}
+		depth++
+		cur = nx.X
+	}
+}
+
+// traceVar collects every assignment to the object inside the current
+// function body and requires each right-hand side to be approved.
+func (e *seedEval) traceVar(id *ast.Ident, obj *types.Var) seedResult {
+	body := e.node.body()
+	if body == nil {
+		return bad(id.Pos(), id.Name+" has no traceable definition")
+	}
+	u := e.node.Unit
+	resolves := func(lhs ast.Expr) bool {
+		lid, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		o := u.Info.Uses[lid]
+		if o == nil {
+			o = u.Info.Defs[lid]
+		}
+		return o == obj
+	}
+	var acc *seedResult
+	merge := func(r seedResult) {
+		if acc == nil {
+			acc = &r
+			return
+		}
+		c := combine(*acc, r)
+		// A variable is only as trustworthy as its weakest assignment.
+		if r.status < c.status {
+			c.status = r.status
+			c.badPos, c.badWhy = r.badPos, r.badWhy
+		}
+		acc = &c
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if !resolves(lhs) {
+					continue
+				}
+				if len(st.Rhs) == len(st.Lhs) {
+					merge(e.expr(st.Rhs[i]))
+				} else if len(st.Rhs) == 1 {
+					// Tuple assignment: judge the producing call itself.
+					merge(e.expr(st.Rhs[0]))
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if u.Info.Defs[name] == types.Object(obj) && i < len(st.Values) {
+					merge(e.expr(st.Values[i]))
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Key != nil && resolves(st.Key) || st.Value != nil && resolves(st.Value) {
+				r := bad(st.Pos(), id.Name+" is a range variable (a worker/loop index is not a seed; use stats.DeriveSeed(root, key))")
+				merge(r)
+			}
+		}
+		return true
+	})
+	if acc == nil {
+		return bad(id.Pos(), id.Name+" has no assignment the analyzer can trace in this function")
+	}
+	return *acc
+}
+
+// call judges a call expression: conversions pass through, approved
+// producers succeed, module helpers are summarized recursively, and
+// everything else (wall clock, pointers, hashes of ambient state) fails.
+func (e *seedEval) call(call *ast.CallExpr) seedResult {
+	u := e.node.Unit
+
+	// Type conversion uint64(x), int64(x), ...
+	if tv, ok := u.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return e.expr(call.Args[0])
+	}
+
+	fun := ast.Unparen(call.Fun)
+	var callee *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee, _ = u.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = u.Info.Uses[f.Sel].(*types.Func)
+		// Any method on the stats RNG (Uint64, Split, ...) yields an
+		// approved stream: the RNG itself was seed-checked at its
+		// construction site.
+		if callee != nil {
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && isStatsRNG(sig.Recv().Type()) {
+				return seedResult{status: seedApproved}
+			}
+		}
+	}
+	if callee == nil {
+		return bad(call.Pos(), types.ExprString(call.Fun)+" cannot be resolved to a seed-safe producer")
+	}
+	if isStatsPath(pkgPathOf(callee)) && (callee.Name() == "DeriveSeed" || callee.Name() == "NewRNG") {
+		return seedResult{status: seedApproved}
+	}
+
+	// Module helper: summarize its returns through the call graph.
+	if helper := e.g.Node(funcSymbol(callee)); helper != nil {
+		return e.helperCall(helper, call)
+	}
+	return bad(call.Pos(), types.ExprString(call.Fun)+" is not an approved seed producer")
+}
+
+func pkgPathOf(f *types.Func) string {
+	if f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// helperCall evaluates "the helper's returns, with its parameters
+// substituted by this call's arguments".
+func (e *seedEval) helperCall(helper *FuncNode, call *ast.CallExpr) seedResult {
+	if e.helpers[helper.Symbol] {
+		return seedResult{status: seedApproved} // cycle: resolve optimistically
+	}
+	e.helpers[helper.Symbol] = true
+	defer delete(e.helpers, helper.Symbol)
+
+	sum := e.returnSummary(helper)
+	if sum.status == seedBad {
+		return seedResult{status: seedBad, badPos: call.Pos(),
+			badWhy: fmt.Sprintf("%s does not return an approved seed (%s)", helper.Name, sum.badWhy)}
+	}
+	out := seedResult{status: sum.status}
+	for _, p := range sum.deps {
+		if p >= len(call.Args) {
+			continue
+		}
+		argRes := e.expr(call.Args[p])
+		if argRes.status == seedBad {
+			return argRes
+		}
+		out = combine(out, argRes)
+		if argRes.status < out.status {
+			out.status = argRes.status
+		}
+	}
+	return out
+}
+
+// returnSummary judges every return of a single-result helper in its own
+// context; deps are the helper's parameter indices.
+func (e *seedEval) returnSummary(helper *FuncNode) seedResult {
+	body := helper.body()
+	if body == nil {
+		return bad(helper.Pos, helper.Name+" has no body to analyze")
+	}
+	if resultCount(helper) != 1 {
+		return bad(helper.Pos, helper.Name+" does not return exactly one value")
+	}
+	inner := &seedEval{g: e.g, node: helper, helpers: e.helpers}
+	var acc *seedResult
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals return from themselves
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		var r seedResult
+		if len(ret.Results) == 1 {
+			r = inner.expr(ret.Results[0])
+		} else {
+			r = bad(ret.Pos(), "bare return cannot be traced")
+		}
+		if acc == nil {
+			acc = &r
+		} else {
+			c := combine(*acc, r)
+			if r.status < c.status {
+				c.status = r.status
+				c.badPos, c.badWhy = r.badPos, r.badWhy
+			}
+			acc = &c
+		}
+		return true
+	})
+	if acc == nil {
+		return bad(helper.Pos, helper.Name+" has no return statement")
+	}
+	return *acc
+}
+
+func resultCount(n *FuncNode) int {
+	var ft *ast.FuncType
+	if n.Decl != nil {
+		ft = n.Decl.Type
+	} else {
+		ft = n.Lit.Type
+	}
+	if ft.Results == nil {
+		return 0
+	}
+	count := 0
+	for _, f := range ft.Results.List {
+		if len(f.Names) == 0 {
+			count++
+		} else {
+			count += len(f.Names)
+		}
+	}
+	return count
+}

@@ -1,0 +1,230 @@
+package lint
+
+import "testing"
+
+func TestSeedFlow(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		test bool
+		src  string
+		want map[int][]string
+	}{
+		{
+			name: "literal seed at the sink",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+func bad() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+`,
+			want: map[int][]string{6: {"seedflow"}},
+		},
+		{
+			name: "seed from a config field is approved",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func ok(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "seed-named constant is approved, other literals are not",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+const rootSeed int64 = 20140816
+const answer int64 = 42
+
+func ok() *rand.Rand  { return rand.New(rand.NewSource(rootSeed)) }
+func bad() *rand.Rand { return rand.New(rand.NewSource(answer)) }
+`,
+			want: map[int][]string{9: {"seedflow"}},
+		},
+		{
+			name: "arithmetic over an approved seed stays approved",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func ok(cfg Config, i int64) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ (i + 1)))
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "range variable as a seed is flagged",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+func bad(n int) {
+	for i := int64(0); i < int64(n); i++ {
+		seed := i
+		_ = seed
+	}
+	for _, w := range []int64{1, 2} {
+		_ = rand.New(rand.NewSource(w))
+	}
+}
+`,
+			// Anchored at the provenance (the range binding), not the sink.
+			want: map[int][]string{10: {"seedflow"}},
+		},
+		{
+			name: "approved root offset by a loop index stays approved",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func ok(cfg Config, n int) {
+	for i := 0; i < n; i++ {
+		_ = rand.New(rand.NewSource(cfg.Seed + int64(i)))
+	}
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "interprocedural: a literal reaches the sink through a conduit param",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+func worker(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func launch() *rand.Rand {
+	return worker(7)
+}
+`,
+			want: map[int][]string{10: {"seedflow"}},
+		},
+		{
+			name: "interprocedural: an approved value through the same conduit is silent",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func worker(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func launch(cfg Config) *rand.Rand {
+	return worker(cfg.Seed)
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "helper return value is summarized",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func derived(cfg Config) int64 { return cfg.Seed * 3 }
+func pinned() int64            { return 1234 }
+
+func ok(cfg Config) *rand.Rand { return rand.New(rand.NewSource(derived(cfg))) }
+func bad() *rand.Rand          { return rand.New(rand.NewSource(pinned())) }
+`,
+			want: map[int][]string{11: {"seedflow"}},
+		},
+		{
+			name: "element assignments through an indexed slice are traced",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func ok(cfg Config, n int) {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = cfg.Seed + int64(i)
+	}
+	for i := range seeds {
+		_ = rand.New(rand.NewSource(seeds[i]))
+	}
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "test files are out of contract",
+			path: "internal/sim",
+			test: true,
+			src: `package fixture
+
+import "math/rand"
+
+func helperForTests() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "non-gated packages are out of contract",
+			path: "internal/render",
+			src: `package fixture
+
+import "math/rand"
+
+func fine() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+`,
+			want: map[int][]string{},
+		},
+		{
+			name: "allow directive suppresses with a reason",
+			path: "internal/sim",
+			src: `package fixture
+
+import "math/rand"
+
+func pinned() *rand.Rand {
+	//lint:allow seedflow historical pin: this value reproduces the PR-3 reference tables
+	return rand.New(rand.NewSource(42))
+}
+`,
+			want: map[int][]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixtureUnit(t, tc.path, tc.src, tc.test)
+			checkLines(t, u, SeedFlowAnalyzer(), tc.want)
+		})
+	}
+}

@@ -318,8 +318,8 @@ func FuzzSchedulerEquivalence(f *testing.F) {
 	f.Add(int64(1001), uint8(7), uint8(14))
 	f.Add(int64(64064), uint8(16), uint8(12))
 	f.Fuzz(func(t *testing.T, seed int64, pRaw, nRaw uint8) {
-		p := 2 + int(pRaw)%15  // 2..16 ranks
-		n := 1 + int(nRaw)%16  // 1..16 phases
+		p := 2 + int(pRaw)%15 // 2..16 ranks
+		n := 1 + int(nRaw)%16 // 1..16 phases
 		phases := genProgram(rand.New(rand.NewSource(seed)), p, n)
 		ev := runProgram(t, EventEngine, p, phases)
 		or := runProgram(t, GoroutineEngine, p, phases)

@@ -198,6 +198,8 @@ func (rt *evRuntime) runFiber(f *fiber) {
 // passed first — to the next runnable fiber directly, or to a fresh
 // scheduler goroutine when the next runnable has never started (an
 // unstarted program needs a stack of its own, and ours is occupied).
+//
+//mlckpt:baton the engine's one sanctioned block: the baton is passed before the receive, and a failed pass aborts instead of wedging
 func (rt *evRuntime) park(f *fiber) {
 	if f.resume == nil {
 		f.resume = make(chan struct{}, 1)
@@ -315,6 +317,8 @@ func (mb *mailbox) pop() (message, bool) {
 // deliver appends the message to its channel queue and, if the receiver is
 // parked on exactly this channel, marks it runnable at the virtual time
 // the receive will complete: max(receiver clock, arrival).
+//
+//mlckpt:hotpath
 func (rt *evRuntime) deliver(r *Rank, dst, tag int, m message) {
 	k := mailKey{r.id, dst, tag}
 	mb := rt.mail[k]
@@ -337,6 +341,8 @@ func (rt *evRuntime) deliver(r *Rank, dst, tag int, m message) {
 
 // await returns the next message on (src, tag), parking until one is
 // delivered. FIFO per channel, matching the oracle's buffered chans.
+//
+//mlckpt:hotpath
 func (rt *evRuntime) await(r *Rank, src, tag int) message {
 	f := r.fib
 	k := mailKey{src, r.id, tag}

@@ -135,6 +135,7 @@ func (rt *goRuntime) recycle(p *[]byte) {
 	rt.bufPool.Put(p)
 }
 
+//mlckpt:baton oracle engine blocks on real channels by design; every select pairs with abortCh so a wedged run unwinds
 func (rt *goRuntime) deliver(r *Rank, dst, tag int, m message) {
 	select {
 	case rt.box(mailKey{r.id, dst, tag}) <- m:
@@ -143,6 +144,7 @@ func (rt *goRuntime) deliver(r *Rank, dst, tag int, m message) {
 	}
 }
 
+//mlckpt:baton oracle engine blocks on real channels by design; every select pairs with abortCh so a wedged run unwinds
 func (rt *goRuntime) await(r *Rank, src, tag int) message {
 	select {
 	case msg := <-rt.box(mailKey{src, r.id, tag}):
@@ -152,6 +154,7 @@ func (rt *goRuntime) await(r *Rank, src, tag int) message {
 	}
 }
 
+//mlckpt:baton oracle engine blocks on real channels by design; the op.done wait pairs with abortCh so a wedged run unwinds
 func (rt *goRuntime) rendezvous(r *Rank, key collKey, payload any, compute collCompute) (any, float64) {
 	rt.mu.Lock()
 	op, ok := rt.colls[key]

@@ -284,6 +284,8 @@ func (r *Rank) AdvanceTo(t float64) {
 // Send transmits data to rank dst with the given tag (eager semantics: the
 // sender does not wait for the matching receive). The payload is copied,
 // so the caller may reuse data immediately.
+//
+//mlckpt:fiber
 func (r *Rank) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= r.rt.size() {
 		panic(fmt.Sprintf("mpisim: Send to invalid rank %d", dst))
@@ -299,6 +301,8 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload.
+//
+//mlckpt:fiber
 func (r *Rank) Recv(src, tag int) []byte {
 	msg := r.awaitFrom(src, tag)
 	return msg.data
@@ -308,6 +312,8 @@ func (r *Rank) Recv(src, tag int) []byte {
 // into buf (grown if too small) and the internal message buffer returns
 // to the runtime's pool, so a steady-state exchange loop allocates
 // nothing. Clock semantics are identical to Recv.
+//
+//mlckpt:fiber
 func (r *Rank) RecvInto(src, tag int, buf []byte) []byte {
 	msg := r.awaitFrom(src, tag)
 	if cap(buf) < len(msg.data) {
@@ -347,6 +353,8 @@ var doneRequest = &Request{done: true}
 
 // Isend starts a nonblocking send. The message is injected immediately
 // (eager); Wait is a no-op kept for MPI-shaped code.
+//
+//mlckpt:fiber
 func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	r.Send(dst, tag, data)
 	return doneRequest
@@ -359,6 +367,8 @@ func (r *Rank) Irecv(src, tag int) *Request {
 
 // Wait completes the request and returns the received payload (nil for
 // sends).
+//
+//mlckpt:fiber
 func (q *Request) Wait() []byte {
 	if q.done {
 		return q.data
@@ -371,6 +381,8 @@ func (q *Request) Wait() []byte {
 }
 
 // Waitall completes all requests in order.
+//
+//mlckpt:fiber
 func (r *Rank) Waitall(reqs []*Request) {
 	for _, q := range reqs {
 		q.Wait()
@@ -380,6 +392,8 @@ func (r *Rank) Waitall(reqs []*Request) {
 // collective synchronizes all ranks on a kinded operation. compute runs
 // once (on the last arriver) over the gathered payloads and entry clocks
 // and returns (result, exitClock).
+//
+//mlckpt:fiber
 func (r *Rank) collective(kind collKind, payload any, compute collCompute) any {
 	seq := r.seq[kind]
 	r.seq[kind] = seq + 1
@@ -407,6 +421,8 @@ func (r *Rank) collective(kind collKind, payload any, compute collCompute) any {
 
 // Barrier blocks until every rank reaches it; all clocks synchronize to the
 // latest participant plus a tree latency.
+//
+//mlckpt:fiber
 func (r *Rank) Barrier() {
 	cost := r.rt.cost().treeCost(r.rt.size(), 0)
 	r.collective(collBarrier, nil, func(entries []float64, _ []any) (any, float64) {
@@ -415,6 +431,8 @@ func (r *Rank) Barrier() {
 }
 
 // Bcast broadcasts root's payload to every rank and returns it.
+//
+//mlckpt:fiber
 func (r *Rank) Bcast(root int, data []byte) []byte {
 	if root < 0 || root >= r.rt.size() {
 		panic(fmt.Sprintf("mpisim: Bcast with invalid root %d", root))
@@ -473,6 +491,8 @@ func (op ReduceOp) apply(acc, v []float64) {
 
 // Allreduce reduces the per-rank vectors elementwise with op and returns
 // the reduced vector to every rank.
+//
+//mlckpt:fiber
 func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	// No defensive copy of data: every rank is blocked inside the
 	// collective until the last arriver has run the reduction, so no
@@ -495,6 +515,8 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 
 // Gather collects every rank's payload at all ranks (an allgather; the
 // checkpoint toolkit uses it for group coordination).
+//
+//mlckpt:fiber
 func (r *Rank) Gather(data []byte) [][]byte {
 	payload := append([]byte(nil), data...)
 	// Cost from the total gathered volume: per-rank contributions may have

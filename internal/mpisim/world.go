@@ -96,6 +96,8 @@ func (w *World) Barrier() {
 // identical to Rank.Allreduce — one vectorized computation instead of a
 // size-rank rendezvous. The returned slice is reused by the next
 // Allreduce call; copy it to keep it.
+//
+//mlckpt:hotpath
 func (w *World) Allreduce(op ReduceOp, width int, contrib func(rank int, out []float64)) []float64 {
 	if cap(w.acc) < width {
 		w.acc = make([]float64, width)

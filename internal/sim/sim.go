@@ -606,6 +606,8 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 // advanceWork attributes a slice of executed work [from, to) to Productive
 // (first-time) or Rollback (re-execution) based on the furthest progress
 // previously reached.
+//
+//mlckpt:hotpath
 func advanceWork(res *Result, from, to, furthest float64) {
 	if to <= from {
 		return

@@ -45,6 +45,8 @@ func DeriveSeed(root uint64, key string) uint64 {
 }
 
 // Uint64 returns the next 64 random bits.
+//
+//mlckpt:hotpath
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
