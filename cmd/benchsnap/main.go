@@ -22,6 +22,17 @@
 // ones retire without invalidating the baseline. Wall-clock thresholds
 // should be generous (CI machines are noisy); allocs/op is deterministic
 // and uses the same bound only to absorb intentional small drifts.
+//
+// With -trend, benchsnap reads nothing from stdin and instead renders the
+// history across several committed snapshots in argument order:
+//
+//	go run ./cmd/benchsnap -trend BENCH_2026-08-06.json BENCH_2026-08-06.r2.json
+//
+// Each benchmark gets one row of ns/op values (one column per snapshot)
+// plus the allocs/op trajectory, with the relative change from the first
+// to the last snapshot. Benchmarks missing from a snapshot show "-" —
+// appearing and retiring benchmarks are part of the history, not an
+// error. Exit status 1 only for unreadable or schema-mismatched files.
 package main
 
 import (
@@ -224,12 +235,118 @@ func runCompare(w io.Writer, baselinePath string, current []benchResult, thresho
 	return regressions, nil
 }
 
+// loadSnapshot reads and schema-checks one committed snapshot file.
+func loadSnapshot(path string) (snapshot, error) {
+	var snap snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if snap.Schema != schema {
+		return snap, fmt.Errorf("%s: unexpected schema %q (want %q)", path, snap.Schema, schema)
+	}
+	return snap, nil
+}
+
+// runTrend renders the ns/op and allocs/op trajectories across the given
+// snapshot files, in argument order.
+func runTrend(w io.Writer, paths []string) error {
+	if len(paths) < 2 {
+		return fmt.Errorf("-trend needs at least two snapshot files, got %d", len(paths))
+	}
+	snaps := make([]snapshot, len(paths))
+	for i, path := range paths {
+		s, err := loadSnapshot(path)
+		if err != nil {
+			return err
+		}
+		snaps[i] = s
+	}
+	// Collect the union of normalized names, keeping per-snapshot lookups.
+	type point struct {
+		ns     float64
+		allocs *int64
+		ok     bool
+	}
+	byName := map[string][]point{}
+	var names []string
+	for i, s := range snaps {
+		for _, b := range s.Benchmarks {
+			name := normalizeName(b.Name)
+			pts, seen := byName[name]
+			if !seen {
+				pts = make([]point, len(snaps))
+				byName[name] = pts
+				names = append(names, name)
+			}
+			pts[i] = point{ns: b.NsPerOp, allocs: b.AllocsPerOp, ok: true}
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-50s", "benchmark")
+	for _, path := range paths {
+		fmt.Fprintf(w, " %14s", trendLabel(path))
+	}
+	fmt.Fprintf(w, " %9s %9s\n", "ns Δ%", "allocs Δ%")
+	for _, name := range names {
+		pts := byName[name]
+		fmt.Fprintf(w, "%-50s", name)
+		for _, p := range pts {
+			if !p.ok {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %14.0f", p.ns)
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		if first.ok && last.ok && first.ns > 0 {
+			fmt.Fprintf(w, " %+8.1f%%", 100*(last.ns-first.ns)/first.ns)
+		} else {
+			fmt.Fprintf(w, " %9s", "-")
+		}
+		if first.ok && last.ok && first.allocs != nil && last.allocs != nil && *first.allocs > 0 {
+			fmt.Fprintf(w, " %+8.1f%%", 100*float64(*last.allocs-*first.allocs)/float64(*first.allocs))
+		} else {
+			fmt.Fprintf(w, " %9s", "-")
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d benchmarks across %d snapshots\n", len(names), len(snaps))
+	return nil
+}
+
+// trendLabel shortens a snapshot path to a column header: the base name
+// without the BENCH_ prefix and .json suffix.
+func trendLabel(path string) string {
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimPrefix(name, "BENCH_")
+	name = strings.TrimSuffix(name, ".json")
+	if len(name) > 14 {
+		name = name[len(name)-14:]
+	}
+	return name
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsnap: ")
 	compareWith := flag.String("compare", "", "baseline snapshot to diff against instead of emitting JSON")
 	thresholdPct := flag.Float64("threshold", 20, "allowed regression percent in -compare mode")
+	trend := flag.Bool("trend", false, "render the history across the snapshot files given as arguments")
 	flag.Parse()
+	if *trend {
+		if err := runTrend(os.Stdout, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		log.Fatal(err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -149,6 +150,86 @@ func TestRunCompare(t *testing.T) {
 	if _, err := runCompare(&buf, path, current, 50); err == nil {
 		t.Error("foreign schema must be rejected")
 	}
+}
+
+// writeSnapshot persists a snapshot document and returns its path.
+func writeSnapshot(t *testing.T, dir, name string, snap snapshot) string {
+	t.Helper()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/" + name
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTrend(t *testing.T) {
+	dir := t.TempDir()
+	first := writeSnapshot(t, dir, "BENCH_2026-01-01.json", snapshot{
+		Schema: schema,
+		Benchmarks: []benchResult{
+			{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: i64(100)},
+			{Name: "BenchmarkGone-8", NsPerOp: 5},
+		},
+	})
+	last := writeSnapshot(t, dir, "BENCH_2026-02-01.json", snapshot{
+		Schema: schema,
+		Benchmarks: []benchResult{
+			{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: i64(150)},
+			{Name: "BenchmarkNew", NsPerOp: 7},
+		},
+	})
+	var buf strings.Builder
+	if err := runTrend(&buf, []string{first, last}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// GOMAXPROCS suffixes normalize away, so A matches across snapshots.
+	if !strings.Contains(out, "-50.0%") || !strings.Contains(out, "+50.0%") {
+		t.Errorf("missing first-to-last deltas (ns -50%%, allocs +50%%):\n%s", out)
+	}
+	// Column headers come from the file names, stripped of BENCH_/.json.
+	if !strings.Contains(out, "2026-01-01") || !strings.Contains(out, "2026-02-01") {
+		t.Errorf("missing snapshot labels:\n%s", out)
+	}
+	// Benchmarks absent from one snapshot render "-" and skip the deltas.
+	for _, name := range []string{"BenchmarkGone", "BenchmarkNew"} {
+		line := lineWith(out, name)
+		if line == "" || !strings.Contains(line, "-") || strings.Contains(line, "%") {
+			t.Errorf("%s should show a placeholder and no delta: %q", name, line)
+		}
+	}
+	if !strings.Contains(out, "3 benchmarks across 2 snapshots") {
+		t.Errorf("missing footer:\n%s", out)
+	}
+}
+
+func TestRunTrendErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeSnapshot(t, dir, "ok.json", snapshot{Schema: schema})
+	if err := runTrend(io.Discard, []string{good}); err == nil {
+		t.Error("one file must be rejected (-trend needs a trajectory)")
+	}
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrend(io.Discard, []string{good, bad}); err == nil {
+		t.Error("foreign schema must be rejected")
+	}
+}
+
+// lineWith returns the first output line containing substr.
+func lineWith(out, substr string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	return ""
 }
 
 func TestParseBenchLineRejectsJunk(t *testing.T) {

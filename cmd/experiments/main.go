@@ -6,8 +6,9 @@
 //	experiments -metrics-out m.json -trace-out t.json all
 //
 // IDs: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens,
-// plus chaos (the fault-injection grid of docs/FAULTS.md; excluded from
-// "all" so the golden regression output never depends on it).
+// plus chaos (the fault-injection grid of docs/FAULTS.md) and attrib (the
+// waste-attribution breakdown of docs/OBSERVABILITY.md) — both excluded
+// from "all" so the golden regression output never depends on them.
 // -quick shrinks run counts and scales for a fast smoke pass; the default
 // settings reproduce the paper's configuration (100-run means).
 //
@@ -29,6 +30,11 @@
 //	                   byte-identical for every -workers setting
 //	-pprof TARGET      addr ("localhost:6060") serves net/http/pprof;
 //	                   anything else is a directory for cpu/heap profiles
+//	-serve ADDR        serve live telemetry while running: /metrics
+//	                   (OpenMetrics), /healthz, /events (SSE off the
+//	                   streaming flight recorder), /debug/pprof. Serving
+//	                   perturbs only the volatile metrics section, so the
+//	                   -metrics-out/-trace-out artifacts stay byte-identical
 //
 // A failing experiment no longer aborts the invocation: the remaining ids
 // still run, a summary lists the failures, and the exit status is 1.
@@ -39,7 +45,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -64,41 +70,55 @@ type figStat struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main behind testable seams — explicit args, explicit writers, an
+// exit code instead of os.Exit — so the serve/artifact composition
+// contract is pinned by in-process tests (main_test.go).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runs       = flag.Int("runs", 0, "override simulation repetitions (0 = paper default)")
-		quick      = flag.Bool("quick", false, "fast smoke settings")
-		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
-		noProgress = flag.Bool("no-progress", false, "suppress progress reporting on stderr")
-		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
-		pprofFlag  = flag.String("pprof", "", "serve net/http/pprof on addr (host:port) or write cpu/heap profiles to a directory")
-		replayFile = flag.String("replay", "", "replay a recorded failure trace (failure JSONL, docs/FAULTS.md) and exit")
+		runs       = fs.Int("runs", 0, "override simulation repetitions (0 = paper default)")
+		quick      = fs.Bool("quick", false, "fast smoke settings")
+		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
+		noProgress = fs.Bool("no-progress", false, "suppress progress reporting on stderr")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
+		pprofFlag  = fs.String("pprof", "", "serve net/http/pprof on addr (host:port) or write cpu/heap profiles to a directory")
+		serveAddr  = fs.String("serve", "", "serve live telemetry on addr while running (/metrics OpenMetrics, /healthz, /events, /debug/pprof)")
+		replayFile = fs.String("replay", "", "replay a recorded failure trace (failure JSONL, docs/FAULTS.md) and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "experiments: "+format+"\n", a...)
+		return 1
+	}
 	if *replayFile != "" {
 		f, err := os.Open(*replayFile)
 		if err != nil {
-			log.Fatalf("-replay: %v", err)
+			return fail("-replay: %v", err)
 		}
 		trace, err := failure.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("-replay %s: %v", *replayFile, err)
+			return fail("-replay %s: %v", *replayFile, err)
 		}
 		r, err := experiments.Replay(trace)
 		if err != nil {
-			log.Fatalf("-replay %s: %v", *replayFile, err)
+			return fail("-replay %s: %v", *replayFile, err)
 		}
-		fmt.Println(r.Render())
-		return
+		fmt.Fprintln(stdout, r.Render())
+		return 0
 	}
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 {
-		flag.Usage()
-		fmt.Fprintln(os.Stderr, "ids: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens chaos all")
-		os.Exit(2)
+		fs.Usage()
+		fmt.Fprintln(stderr, "ids: fig1 fig2 fig3 fig4 tab2 fig5 tab3 fig6 fig7 tab4 conv ablate sens chaos attrib all")
+		return 2
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"fig1", "fig2", "fig3", "fig4", "tab2", "fig5", "tab3", "fig6", "fig7", "tab4", "conv", "ablate", "sens"}
@@ -111,7 +131,7 @@ func main() {
 	if *pprofFlag != "" {
 		stop, err := cli.StartPprof(*pprofFlag)
 		if err != nil {
-			log.Fatalf("-pprof %s: %v", *pprofFlag, err)
+			return fail("-pprof %s: %v", *pprofFlag, err)
 		}
 		defer stop()
 	}
@@ -122,11 +142,29 @@ func main() {
 	// list, never on -workers.
 	collector := obs.NewCollector()
 	cache := sweep.NewCache()
+
+	// -serve attaches the streaming flight recorder beside the collector
+	// and exposes both over HTTP for the lifetime of the run. The stream
+	// only ever observes (Tee), so the -metrics-out/-trace-out artifacts of
+	// a served run are byte-identical to an unserved run's up to the
+	// volatile section (pinned by TestServeComposesWithArtifacts).
+	rec := obs.Recorder(collector)
+	if *serveAddr != "" {
+		stream := obs.NewStream(0)
+		rec = obs.Tee(collector, stream)
+		ln, err := cli.Serve(*serveAddr, cli.ObsMux(collector, stream))
+		if err != nil {
+			return fail("-serve %s: %v", *serveAddr, err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "experiments: serving telemetry on http://%s\n", ln.Addr())
+	}
+
 	grid := func(id string) experiments.Grid {
 		g := experiments.Grid{
 			Workers: *workers,
 			Cache:   cache,
-			Obs:     collector,
+			Obs:     rec,
 			Clock:   obs.WallClock,
 		}
 		if !*noProgress {
@@ -147,45 +185,45 @@ func main() {
 		runtime.ReadMemStats(&ms)
 		st := figStat{id: id, wall: wall, allocs: ms.Mallocs - allocs0, failed: err != nil}
 		stats = append(stats, st)
-		collector.CountVolatile("experiments."+id+".wall_ms", wall.Milliseconds())
-		collector.CountVolatile("experiments."+id+".allocs", int64(st.allocs))
+		rec.CountVolatile("experiments."+id+".wall_ms", wall.Milliseconds())
+		rec.CountVolatile("experiments."+id+".allocs", int64(st.allocs))
 		if err != nil {
 			failures = append(failures, id)
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", id, err)
 			continue
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	}
 
 	// Fold the cache's own view into the registry: hits/misses are pure
 	// functions of the job set (deterministic); how many of the hits
 	// coalesced onto in-flight computations is scheduling (volatile).
 	hits, misses := cache.Stats()
-	collector.Count("sweep.cache.hits", int64(hits))
-	collector.Count("sweep.cache.misses", int64(misses))
-	collector.CountVolatile("sweep.cache.coalesced", int64(cache.Coalesced()))
+	rec.Count("sweep.cache.hits", int64(hits))
+	rec.Count("sweep.cache.misses", int64(misses))
+	rec.CountVolatile("sweep.cache.coalesced", int64(cache.Coalesced()))
 
 	if !*noProgress {
-		printSummary(collector, stats, len(ids)-len(failures), len(failures))
+		printSummary(stderr, collector, stats, len(ids)-len(failures), len(failures))
 	}
 	if len(failures) == 0 {
 		if *metricsOut != "" {
 			if err := cli.WriteMetrics(collector.Registry, *metricsOut); err != nil {
-				log.Fatalf("-metrics-out %s: %v", *metricsOut, err)
+				return fail("-metrics-out %s: %v", *metricsOut, err)
 			}
 		}
 		if *traceOut != "" {
 			if err := cli.WriteTrace(collector.Trace, *traceOut); err != nil {
-				log.Fatalf("-trace-out %s: %v", *traceOut, err)
+				return fail("-trace-out %s: %v", *traceOut, err)
 			}
 		}
-		return
+		return 0
 	}
-	fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed: %v\n", len(failures), len(ids), failures)
+	fmt.Fprintf(stderr, "experiments: %d of %d experiments failed: %v\n", len(failures), len(ids), failures)
 	if *metricsOut != "" || *traceOut != "" {
-		fmt.Fprintln(os.Stderr, "experiments: telemetry artifacts withheld (incomplete run)")
+		fmt.Fprintln(stderr, "experiments: telemetry artifacts withheld (incomplete run)")
 	}
-	os.Exit(1)
+	return 1
 }
 
 // runExperiment renders one experiment id. Errors — including unknown ids
@@ -282,6 +320,15 @@ func runExperiment(id string, simRuns int, quick bool, grid func(string) experim
 			return "", err
 		}
 		return r.Render(), nil
+	case "attrib":
+		// Not part of "all": the waste-attribution breakdown validates the
+		// observability pipeline (docs/OBSERVABILITY.md) against Formula 21,
+		// and the golden regression output must not depend on it.
+		r, err := experiments.AttribGrid(3e6, quick, grid(id))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
 	case "chaos":
 		// Not part of "all": the chaos grid validates the fault-injection
 		// harness (docs/FAULTS.md), not a paper table, and the golden
@@ -300,13 +347,13 @@ func runExperiment(id string, simRuns int, quick bool, grid func(string) experim
 // the registry snapshot plus a per-experiment cost table (wall-clock and
 // heap allocations, both host-side and volatile — they describe this run
 // of this machine, not the reproduced results).
-func printSummary(c *obs.Collector, stats []figStat, succeeded, failed int) {
+func printSummary(w io.Writer, c *obs.Collector, stats []figStat, succeeded, failed int) {
 	for _, st := range stats {
 		status := ""
 		if st.failed {
 			status = "  (failed)"
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %-7s %8.2fs  %12d allocs%s\n",
+		fmt.Fprintf(w, "experiments: %-7s %8.2fs  %12d allocs%s\n",
 			st.id, st.wall.Seconds(), st.allocs, status)
 	}
 	snap := c.Registry.Snapshot()
@@ -314,7 +361,7 @@ func printSummary(c *obs.Collector, stats []figStat, succeeded, failed int) {
 		v, _ := snap.Counter(name)
 		return v
 	}
-	fmt.Fprintf(os.Stderr,
+	fmt.Fprintf(w,
 		"experiments: %d ok, %d failed | sweep: %d jobs, cache %d hits / %d misses | solver: %d solves (%d converged) | sim: %d runs, %d failures injected | trace: %d events\n",
 		succeeded, failed,
 		count("sweep.jobs"),

@@ -1,8 +1,11 @@
 // Command obscheck validates observability artifacts produced by the
-// -metrics-out and -trace-out flags of cmd/experiments and cmd/ckptopt
-// against the exporter schemas (internal/obs). CI runs it on the artifacts
-// of a small experiment so schema drift fails the build rather than the
-// first downstream consumer.
+// -metrics-out and -trace-out flags of cmd/experiments and cmd/ckptopt.
+//
+// Deprecated: obscheck is now a shim over `obstool validate`, kept so
+// existing scripts and CI invocations keep working. New callers should use
+// cmd/obstool, which adds diff, summarize, and attrib modes. Behavior and
+// flags are unchanged; the only difference is a deprecation note on
+// stderr.
 //
 // Usage:
 //
@@ -33,6 +36,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fmt.Fprintln(os.Stderr, "obscheck: deprecated; use `obstool validate` (same flags, plus diff/summarize/attrib modes)")
 	if *metricsPath != "" {
 		data, err := os.ReadFile(*metricsPath)
 		if err != nil {

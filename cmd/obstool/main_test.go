@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlckpt/internal/cli"
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/obs"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/sim"
+	"mlckpt/internal/speedup"
+	"mlckpt/internal/stats"
+)
+
+// tracedRun records one complete simulated run on an "attrib/" track plus
+// a synthetic mpisim rank timeline, and returns the collector.
+func tracedRun(t *testing.T) *obs.Collector {
+	t.Helper()
+	col := obs.NewCollector()
+	cfg := sim.Config{
+		Params: &model.Params{
+			Te:      100 * failure.SecondsPerDay,
+			Speedup: speedup.Quadratic{Kappa: 0.5, NStar: 1e4},
+			Levels: overhead.SymmetricLevels([]overhead.Cost{
+				overhead.Constant(1), overhead.Constant(3),
+				overhead.Constant(5), overhead.Constant(20),
+			}, 0.5),
+			Alloc: 10,
+			Rates: failure.MustParseRates("40-20-10-5", 1e4),
+		},
+		N:            5000,
+		X:            []float64{40, 20, 10, 5},
+		Obs:          col,
+		ObsTrack:     "attrib/test-run",
+		ObsMaxEvents: -1,
+	}
+	if _, err := sim.Run(cfg, stats.NewRNG(7)); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-laid mpisim-style rank timeline for summarize's comm split:
+	// 10 s of wall, 3 s inside collectives.
+	col.Span("mpisim/w0", "run", 0, 10, map[string]float64{"ranks": 2})
+	col.Span("mpisim/w0", "barrier", 1, 2, map[string]float64{"seq": 0})
+	col.Span("mpisim/w0", "allreduce", 5, 1, map[string]float64{"seq": 1})
+	col.Count("sim.runs", 1)
+	return col
+}
+
+// writeArtifacts persists the collector's metrics and trace to dir.
+func writeArtifacts(t *testing.T, col *obs.Collector, dir string) (metrics, trace string) {
+	t.Helper()
+	metrics, trace = filepath.Join(dir, "m.json"), filepath.Join(dir, "t.json")
+	if err := cli.WriteMetrics(col.Registry, metrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteTrace(col.Trace, trace); err != nil {
+		t.Fatal(err)
+	}
+	return metrics, trace
+}
+
+func runTool(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestValidateAcceptsArtifacts(t *testing.T) {
+	m, tr := writeArtifacts(t, tracedRun(t), t.TempDir())
+	code, out, errs := runTool("validate", "-metrics", m, "-trace", tr)
+	if code != 0 {
+		t.Fatalf("validate = %d\n%s", code, errs)
+	}
+	if !strings.Contains(out, "ok (") {
+		t.Errorf("unexpected output: %s", out)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runTool("validate", "-metrics", bad); code != 1 {
+		t.Errorf("validate on garbage = %d, want 1", code)
+	}
+}
+
+func TestDiffExactAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	a := obs.NewCollector()
+	a.Count("sim.runs", 100)
+	b := obs.NewCollector()
+	b.Count("sim.runs", 101)
+	b.CountVolatile("noise", 5) // volatile-only differences never count
+	aPath, _ := writeArtifacts(t, a, dir)
+	bPath, _ := writeArtifacts(t, b, t.TempDir())
+
+	if code, _, _ := runTool("diff", "-a", aPath, "-b", aPath); code != 0 {
+		t.Errorf("self-diff = %d, want 0", code)
+	}
+	code, out, _ := runTool("diff", "-a", aPath, "-b", bPath)
+	if code != 1 || !strings.Contains(out, "sim.runs") {
+		t.Errorf("drift diff = %d, out:\n%s", code, out)
+	}
+	// 1% drift within a 5% threshold passes.
+	if code, _, _ := runTool("diff", "-a", aPath, "-b", bPath, "-threshold", "5"); code != 0 {
+		t.Errorf("thresholded diff = %d, want 0", code)
+	}
+}
+
+func TestSummarizeSplitsCommCompute(t *testing.T) {
+	_, tr := writeArtifacts(t, tracedRun(t), t.TempDir())
+	code, out, errs := runTool("summarize", "-trace", tr)
+	if code != 0 {
+		t.Fatalf("summarize = %d\n%s", code, errs)
+	}
+	if !strings.Contains(out, "mpisim/w0") || !strings.Contains(out, "30.00% communication") {
+		t.Errorf("missing comm split:\n%s", out)
+	}
+	if !strings.Contains(out, "attrib/test-run") {
+		t.Errorf("missing run track:\n%s", out)
+	}
+}
+
+func TestAttribReportsExactDecomposition(t *testing.T) {
+	_, tr := writeArtifacts(t, tracedRun(t), t.TempDir())
+	code, out, errs := runTool("attrib", "-trace", tr)
+	if code != 0 {
+		t.Fatalf("attrib = %d\n%s", code, errs)
+	}
+	if !strings.Contains(out, "track attrib/test-run") || !strings.Contains(out, "identity exact") {
+		t.Errorf("missing exact report:\n%s", out)
+	}
+	if !strings.Contains(out, "1 of 1 tracks attributed exactly") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestAttribFailsOnMissingPrefix(t *testing.T) {
+	_, tr := writeArtifacts(t, tracedRun(t), t.TempDir())
+	if code, _, _ := runTool("attrib", "-trace", tr, "-track", "absent/"); code != 1 {
+		t.Errorf("attrib on absent prefix = %d, want 1", code)
+	}
+}
+
+func TestAttribRefusesTruncatedTrack(t *testing.T) {
+	col := obs.NewCollector()
+	col.Span("attrib/cut", "checkpoint", 0, 1, map[string]float64{"level": 1, "progress": 0})
+	col.Instant("attrib/cut", "trace-truncated", 1, nil)
+	data, err := json.Marshal(col.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := runTool("attrib", "-trace", path)
+	if code != 1 || !strings.Contains(errs, "truncated") {
+		t.Errorf("truncated attrib = %d, stderr:\n%s", code, errs)
+	}
+}

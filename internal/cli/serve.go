@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"mlckpt/internal/obs"
+)
+
+// This file is the live-telemetry serving layer behind the CLIs' -serve
+// flag: an HTTP mux exposing the current registry as OpenMetrics, a
+// health probe, the pprof handlers, and (when a flight recorder is
+// attached) a server-sent-events stream of recorder calls.
+//
+// Serving is strictly read-only over the deterministic state: handlers
+// snapshot the registry and render; the only mutation is a volatile
+// request counter, so a served run's -metrics-out/-trace-out artifacts
+// are byte-identical to an unserved run's after Snapshot.StripVolatile
+// (pinned by TestServeComposesWithArtifacts in cmd/experiments).
+
+// ObsMux builds the telemetry mux for one CLI process:
+//
+//	/metrics      OpenMetrics rendering of the collector's registry
+//	/healthz      liveness probe ("ok")
+//	/events       server-sent events off the flight recorder (404 when
+//	              stream is nil); ?replay=0 skips the ring history
+//	/debug/pprof  the standard runtime profiles
+//
+// Every handled request increments the volatile counter
+// "obs.http.requests" — volatile because request arrival is wall-clock
+// territory, never part of the deterministic section.
+func ObsMux(col *obs.Collector, stream *obs.Stream) *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			col.CountVolatile("obs.http.requests", 1)
+			h(w, r)
+		})
+	}
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType())
+		w.Write(col.Registry.Snapshot().OpenMetrics())
+	})
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	handle("/events", func(w http.ResponseWriter, r *http.Request) {
+		if stream == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		serveSSE(w, r, stream)
+	})
+	// The pprof handlers are attached by name: this mux must work without
+	// the DefaultServeMux side-effect registration.
+	handle("/debug/pprof/", pprof.Index)
+	handle("/debug/pprof/cmdline", pprof.Cmdline)
+	handle("/debug/pprof/profile", pprof.Profile)
+	handle("/debug/pprof/symbol", pprof.Symbol)
+	handle("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveSSE streams flight-recorder events to one client until it
+// disconnects. Each event is one `data:` line of JSON; lost events appear
+// as the stream's own loud "dropped" markers, so a slow client sees the
+// gap instead of silently missing it.
+func serveSSE(w http.ResponseWriter, r *http.Request, stream *obs.Stream) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	sub := stream.Subscribe(0, r.URL.Query().Get("replay") != "0")
+	defer stream.Unsubscribe(sub)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+}
+
+// Serve binds addr and serves mux in the background, returning the bound
+// listener so callers (and tests, via addr ":0") learn the actual port.
+// The server lives until the process exits or the listener is closed.
+func Serve(addr string, mux http.Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln, nil
+}

@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlckpt/internal/obs"
+)
+
+func testCollector() *obs.Collector {
+	col := obs.NewCollector()
+	col.Count("sim.runs", 7)
+	col.Observe("sim.wallclock_days", 12.5)
+	col.CountVolatile("sweep.cache.coalesced", 2)
+	col.Span("sim/t", "checkpoint", 1, 2, map[string]float64{"level": 1})
+	return col
+}
+
+func get(t *testing.T, mux http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestObsMuxMetricsIsValidOpenMetrics(t *testing.T) {
+	mux := ObsMux(testCollector(), nil)
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.OpenMetricsContentType() {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.Bytes()
+	if err := obs.ValidateOpenMetrics(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{"mlckpt_sim_runs_total 7", "mlckpt_volatile_sweep_cache_coalesced_total 2"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServingPerturbsOnlyVolatile: handling requests must never change the
+// deterministic section — a served run's artifacts stay byte-identical to
+// an unserved run's after StripVolatile.
+func TestServingPerturbsOnlyVolatile(t *testing.T) {
+	col := testCollector()
+	before := col.Registry.Snapshot()
+	mux := ObsMux(col, obs.NewStream(0))
+	for _, path := range []string{"/metrics", "/healthz", "/metrics"} {
+		get(t, mux, path)
+	}
+	after := col.Registry.Snapshot()
+	if !reflect.DeepEqual(before.Metrics, after.Metrics) {
+		t.Errorf("deterministic section changed by serving:\nbefore %v\nafter  %v", before.Metrics, after.Metrics)
+	}
+	v, ok := after.VolatileCounter("obs.http.requests")
+	if !ok || v != 3 {
+		t.Errorf("obs.http.requests = %d, %v (want 3 requests counted)", v, ok)
+	}
+}
+
+func TestHealthzAndPprof(t *testing.T) {
+	mux := ObsMux(testCollector(), nil)
+	if rec := get(t, mux, "/healthz"); rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Errorf("/healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		if rec := get(t, mux, path); rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+	}
+}
+
+func TestEventsWithoutStreamIs404(t *testing.T) {
+	if rec := get(t, ObsMux(testCollector(), nil), "/events"); rec.Code != http.StatusNotFound {
+		t.Errorf("/events without a stream: status %d, want 404", rec.Code)
+	}
+}
+
+// TestEventsStreamsRecorderCalls drives the SSE endpoint over a real
+// server: events published before the request arrive via ring replay.
+func TestEventsStreamsRecorderCalls(t *testing.T) {
+	col := testCollector()
+	stream := obs.NewStream(0)
+	stream.Count("sim.runs", 1)
+	stream.Span("sim/t", "checkpoint", 3, 1, nil)
+	srv := httptest.NewServer(ObsMux(col, stream))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var data []string
+	for sc.Scan() && len(data) < 2 {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			data = append(data, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if len(data) < 2 {
+		t.Fatalf("got %d SSE events, want 2: %v", len(data), data)
+	}
+	if !strings.Contains(data[0], `"kind":"count"`) || !strings.Contains(data[1], `"kind":"span"`) {
+		t.Errorf("unexpected replayed events: %v", data)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0", ObsMux(testCollector(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz over Serve listener: status %d", resp.StatusCode)
+	}
+}

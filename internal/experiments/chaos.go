@@ -139,6 +139,12 @@ func chaosGridSeeded(ranks int, g Grid, rootSeed uint64) (ChaosResult, error) {
 					cfg := chaosConfig(ranks, seed)
 					cfg.Inject = inject.MustCompile(chaosSpec(corrupt, correlate), rootSeed, key)
 					cfg.Obs = g.Obs
+					if g.Obs != nil {
+						// Content-derived track name: the attribution spans
+						// land on a per-cell timeline that is byte-identical
+						// for every worker count.
+						cfg.ObsTrack = "real/" + key
+					}
 					rr, rerr := RunReal(cfg)
 					cell := ChaosCell{Corrupt: corrupt, Correlate: correlate, Res: rr}
 					if rerr != nil {

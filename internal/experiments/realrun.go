@@ -65,6 +65,16 @@ type RealConfig struct {
 	// retries, detection latency). All values are deterministic functions
 	// of (config, plan); nil disables instrumentation.
 	Obs obs.Recorder `json:"-"`
+	// ObsTrack, when set alongside Obs, names the trace track receiving
+	// the run's waste-attribution spans: one "segment" span per execution
+	// attempt (with measured redo / per-level checkpoint / auxiliary
+	// sub-splits as args), plus alloc/recovery spans and failure/complete
+	// instants — the real-run counterpart of sim.Config.ObsTrack, consumed
+	// by internal/obs/attrib. All timestamps are the run's virtual clock,
+	// and every value is rank-0's deterministic measurement, so the track
+	// is byte-identical across worker counts and engines. Empty suppresses
+	// spans while keeping counters.
+	ObsTrack string `json:"-"`
 }
 
 // segmentApp abstracts the two heat decompositions for the driver.
@@ -232,12 +242,26 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 	wall := 0.0
 	episode := 0       // failure ordinal, keys recovery-window injections
 	ckptSeqBase := 0   // checkpoint attempts in completed segments
+	furthestIter := 0  // furthest completed iteration across segments
 	var snaps [][]byte // recovered per-rank states; nil = fresh start
 	nextFail, haveFail := proc.Next(0)
+
+	tracing := cfg.Obs != nil && cfg.ObsTrack != ""
+	span := func(name string, start, dur float64, args map[string]float64) {
+		if tracing {
+			rec.Span(cfg.ObsTrack, name, start, dur, args)
+		}
+	}
+	instant := func(name string, ts float64, args map[string]float64) {
+		if tracing {
+			rec.Instant(cfg.ObsTrack, name, ts, args)
+		}
+	}
 
 	for {
 		if wall > cfg.MaxWall {
 			res.WallClock = wall
+			instant("complete", wall, map[string]float64{"truncated": 1})
 			finish()
 			return res, nil
 		}
@@ -250,8 +274,19 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			wallLocal    float64
 			digest       uint64
 			loudErr      error // typed policy failure; ends the run loudly
+
+			// Rank-0 measurements for the segment's attribution span: the
+			// clock spent re-executing iterations already completed in an
+			// earlier segment, first-time per-level checkpoint seconds, and
+			// auxiliary overheads (aborted-write fractions, PFS retry
+			// backoff) — all deterministic functions of (config, plan).
+			endIter int
+			redone  float64
+			aux     float64
+			segCkpt [fti.Levels]float64
 		}
 		out := segOut{failClass: -1}
+		prevFurthest := furthestIter
 		_, err := mpisim.RunOn(cfg.Engine, cfg.Ranks, cfg.Cost, func(r *mpisim.Rank) {
 			s, runSeg, err := newApp(r, cfg)
 			if err != nil {
@@ -264,6 +299,11 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			}
 			agent := cluster.Attach(r)
 			stopped := false
+			// Everything executed before the furthest previously completed
+			// iteration is re-execution (the sim's Rollback portion); the
+			// clocks are rank-synchronized, so the crossing is observed at
+			// the same instant everywhere.
+			crossed := s.Iteration() >= prevFurthest
 			// Checkpoint-attempt ordinal, counted identically on every rank
 			// and carried across segments via ckptSeqBase. Injection keys on
 			// the ordinal, not the iteration: after a rollback the run
@@ -271,6 +311,12 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			// would deterministically re-fire forever.
 			seq := 0
 			result := runSeg(func() bool {
+				if !crossed && s.Iteration() >= prevFurthest {
+					crossed = true
+					if r.ID() == 0 {
+						out.redone = r.Clock()
+					}
+				}
 				// Clocks are synchronized by the per-iteration Allreduce,
 				// so every rank sees the same wall time and failure
 				// decision.
@@ -307,6 +353,9 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 								out.failClass = 0
 								out.ckptAborted = true
 								out.wallLocal = r.Clock()
+								if crossed {
+									out.aux += frac * dur
+								}
 							}
 							return false
 						}
@@ -340,6 +389,9 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 						r.Compute(elapsed - d)
 						if r.ID() == 0 {
 							out.pfsRetries += attempts - 1
+							if crossed {
+								out.aux += elapsed - d
+							}
 						}
 						// The retry cost scales with this rank's snapshot
 						// size; on uneven decompositions that would drift
@@ -351,6 +403,9 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 					}
 					if r.ID() == 0 {
 						res.CkptDuration[lvl-1] = d
+						if crossed {
+							out.segCkpt[lvl-1] += d
+						}
 					}
 				}
 				return true
@@ -376,11 +431,37 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 				out.completed = true
 				out.wallLocal = result.WallClock
 			}
+			if r.ID() == 0 {
+				out.endIter = s.Iteration()
+				if !crossed {
+					// The segment ended before reaching old ground: every
+					// second of it was re-execution.
+					out.redone = out.wallLocal
+				}
+			}
 		})
 		if err != nil {
 			return res, err
 		}
+		if tracing && out.wallLocal > 0 {
+			args := map[string]float64{"iters": float64(out.endIter)}
+			if out.redone > 0 {
+				args["redo"] = out.redone
+			}
+			for i, d := range out.segCkpt {
+				if d > 0 {
+					args[fmt.Sprintf("ckpt_l%d", i+1)] = d
+				}
+			}
+			if out.aux > 0 {
+				args["aux"] = out.aux
+			}
+			span("segment", wall, out.wallLocal, args)
+		}
 		wall += out.wallLocal
+		if out.endIter > furthestIter {
+			furthestIter = out.endIter
+		}
 		res.PFSRetries += out.pfsRetries
 		ckptSeqBase += out.ckptAttempts
 		if out.loudErr != nil {
@@ -392,12 +473,14 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			res.WallClock = wall
 			res.Completed = true
 			res.StateDigest = out.digest
+			instant("complete", wall, map[string]float64{"iters": float64(out.endIter)})
 			finish()
 			return res, nil
 		}
 
 		// Failure handling: storage damage, recovery, resume.
 		res.Failures[out.failClass]++
+		instant("failure", wall, map[string]float64{"class": float64(out.failClass + 1)})
 		if out.ckptAborted {
 			res.CkptAborts++
 		}
@@ -427,6 +510,7 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 		if err := cluster.Crash(vict); err != nil {
 			return res, err
 		}
+		span("alloc", wall, cfg.Alloc, nil)
 		wall += cfg.Alloc
 		if plan == nil {
 			lvl, _, ok := cluster.BestRecovery()
@@ -435,6 +519,7 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 				if err != nil {
 					return res, err
 				}
+				span("recovery", wall, rc, map[string]float64{"level": float64(lvl), "ok": 1})
 				wall += rc
 				snaps, err = cluster.Restore(lvl)
 				if err != nil {
@@ -470,6 +555,11 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 						res.PFSRetries += attempts - 1
 						rc = elapsed
 					}
+					okArg := 0.0
+					if at.OK {
+						okArg = 1
+					}
+					span("recovery", wall, rc, map[string]float64{"level": float64(at.Level), "ok": okArg})
 					wall += rc
 					if !at.OK {
 						res.DetectionLatency += rc
@@ -482,9 +572,11 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 					// allocation period.
 					res.RecoveryCrashes++
 					res.Failures[class]++
+					instant("failure", wall, map[string]float64{"class": float64(class + 1)})
 					if err := cluster.Crash(victims(class, cfg, rng)); err != nil {
 						return res, err
 					}
+					span("alloc", wall, cfg.Alloc, nil)
 					wall += cfg.Alloc
 					continue
 				}

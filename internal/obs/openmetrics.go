@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders Registry snapshots in the OpenMetrics text exposition
+// format (the Prometheus wire format), for the serving layer's /metrics
+// endpoint. The mapping is mechanical and collision-free:
+//
+//   - deterministic metrics  ->  mlckpt_<name>
+//   - volatile metrics       ->  mlckpt_volatile_<name>
+//
+// with metric names sanitized to the [a-zA-Z_][a-zA-Z0-9_]* charset
+// (dots and dashes become underscores). Counters render as a single
+// _total sample, gauges as a bare sample, histograms as cumulative
+// _bucket{le=...} samples over the registry's fixed decade bounds plus
+// _sum/_count. Rendering is a pure function of the snapshot: families are
+// name-sorted and floats use the shortest round-trip encoding, so equal
+// snapshots produce byte-identical expositions.
+
+// openMetricsContentType is the content type of the rendered exposition.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// OpenMetricsContentType returns the HTTP content type for OpenMetrics.
+func OpenMetricsContentType() string { return openMetricsContentType }
+
+// sanitizeMetricName maps a registry name to the OpenMetrics charset.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatOMFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// OpenMetrics renders the snapshot as an OpenMetrics text exposition,
+// terminated by the mandatory "# EOF" line.
+func (s Snapshot) OpenMetrics() []byte {
+	var b strings.Builder
+	writeSection := func(prefix string, metrics []Metric) {
+		for _, m := range metrics {
+			fam := prefix + sanitizeMetricName(m.Name)
+			switch m.Type {
+			case "counter":
+				fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+				fmt.Fprintf(&b, "%s_total %s\n", fam, strconv.FormatInt(m.Value, 10))
+			case "gauge":
+				fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+				fmt.Fprintf(&b, "%s %s\n", fam, formatOMFloat(m.Gauge))
+			case "histogram":
+				fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+				cum := int64(0)
+				for _, bk := range m.Buckets {
+					cum += bk.N
+					fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", fam, formatOMFloat(bk.LE), cum)
+				}
+				cum += m.Overflow
+				fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, cum)
+				fmt.Fprintf(&b, "%s_sum %s\n", fam, formatOMFloat(m.Sum()))
+				fmt.Fprintf(&b, "%s_count %d\n", fam, m.Count)
+			}
+		}
+	}
+	writeSection("mlckpt_", s.Metrics)
+	writeSection("mlckpt_volatile_", s.Volatile)
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}
+
+// ValidateOpenMetrics checks an OpenMetrics text exposition for the
+// structural rules the renderer guarantees: every sample belongs to a
+// family declared by a preceding # TYPE line of a known type, suffixes
+// match the family type (_total for counters; _bucket/_sum/_count for
+// histograms, with an le label and non-decreasing cumulative counts ending
+// at +Inf), values parse as numbers, and the document ends with # EOF.
+// CI's /metrics smoke test runs it against a live serve.
+func ValidateOpenMetrics(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "" || lines[len(lines)-2] != "# EOF" {
+		return fmt.Errorf("%w: exposition must end with \"# EOF\\n\"", ErrInvalid)
+	}
+	types := map[string]string{}
+	lastBucket := map[string]int64{}
+	sawInf := map[string]bool{}
+	for i, line := range lines[:len(lines)-2] {
+		if line == "" {
+			return fmt.Errorf("%w: line %d: empty line", ErrInvalid, i+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					return fmt.Errorf("%w: line %d: unknown type %q", ErrInvalid, i+1, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("%w: line %d: duplicate family %q", ErrInvalid, i+1, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseOMSample(line)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrInvalid, i+1, err)
+		}
+		fam, suffix := name, ""
+		for _, s := range []string{"_total", "_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				if t, ok := types[strings.TrimSuffix(name, s)]; ok && t != "gauge" {
+					fam, suffix = strings.TrimSuffix(name, s), s
+					break
+				}
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("%w: line %d: sample %q has no # TYPE declaration", ErrInvalid, i+1, name)
+		}
+		switch typ {
+		case "counter":
+			if suffix != "_total" {
+				return fmt.Errorf("%w: line %d: counter sample %q must use the _total suffix", ErrInvalid, i+1, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("%w: line %d: negative counter %q", ErrInvalid, i+1, name)
+			}
+		case "gauge":
+			if suffix != "" {
+				return fmt.Errorf("%w: line %d: gauge sample %q carries suffix %q", ErrInvalid, i+1, name, suffix)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("%w: line %d: histogram bucket %q lacks an le label", ErrInvalid, i+1, name)
+				}
+				n := int64(value)
+				if n < lastBucket[fam] {
+					return fmt.Errorf("%w: line %d: %s: cumulative bucket counts decrease", ErrInvalid, i+1, fam)
+				}
+				lastBucket[fam] = n
+				if le == "+Inf" {
+					sawInf[fam] = true
+				} else if sawInf[fam] {
+					return fmt.Errorf("%w: line %d: %s: bucket after le=\"+Inf\"", ErrInvalid, i+1, fam)
+				}
+			case "_sum", "_count":
+				if !sawInf[fam] {
+					return fmt.Errorf("%w: line %d: %s: %s before the +Inf bucket", ErrInvalid, i+1, fam, suffix)
+				}
+			default:
+				return fmt.Errorf("%w: line %d: histogram sample %q has suffix %q", ErrInvalid, i+1, name, suffix)
+			}
+		}
+	}
+	return nil
+}
+
+// parseOMSample splits one sample line into name, labels, and value.
+func parseOMSample(line string) (string, map[string]string, float64, error) {
+	name := line
+	labels := map[string]string{}
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line[i:], '}')
+		if j < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		for _, pair := range strings.Split(line[i+1:i+j], ",") {
+			if pair == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(line[i+j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sample needs a name and a value")
+		}
+		name, rest = fields[0], strings.Join(fields[1:], " ")
+	}
+	valField := strings.Fields(rest)
+	if len(valField) == 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", name)
+	}
+	v, err := strconv.ParseFloat(valField[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value %q", name, valField[0])
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("sample with empty name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return name, labels, v, nil
+}
+
+// sortedFamilyNames is a test helper surface: the family names declared in
+// an exposition, sorted.
+func sortedFamilyNames(data []byte) []string {
+	var names []string
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			names = append(names, fields[2])
+		}
+	}
+	sort.Strings(names)
+	return names
+}

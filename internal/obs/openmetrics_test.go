@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestOpenMetricsRendering(t *testing.T) {
+	r := NewRegistry()
+	c := &Collector{Registry: r, Trace: NewTrace()}
+	c.Count("sim.failures", 4)
+	c.Observe("sim.wall-clock", 1.5)
+	c.Observe("sim.wall-clock", 0.25)
+	c.CountVolatile("runs", 2)
+	c.MaxVolatile("workers", 8)
+
+	out := string(r.Snapshot().OpenMetrics())
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing # EOF terminator:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE mlckpt_sim_failures counter\n",
+		"mlckpt_sim_failures_total 4\n",
+		"# TYPE mlckpt_sim_wall_clock histogram\n",
+		"mlckpt_sim_wall_clock_bucket{le=\"+Inf\"} 2\n",
+		"mlckpt_sim_wall_clock_sum 1.75\n",
+		"mlckpt_sim_wall_clock_count 2\n",
+		"# TYPE mlckpt_volatile_runs counter\n",
+		"mlckpt_volatile_runs_total 2\n",
+		"# TYPE mlckpt_volatile_workers gauge\n",
+		"mlckpt_volatile_workers 8\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateOpenMetrics([]byte(out)); err != nil {
+		t.Fatalf("renderer output fails its own validator: %v\n%s", err, out)
+	}
+}
+
+func TestOpenMetricsHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	r.observe("d", 0.5e-6, false) // first bucket (le=1e-6)
+	r.observe("d", 0.05, false)   // le=0.1
+	r.observe("d", 2, false)      // le=10
+	r.observe("d", 5e9, false)    // beyond the top bound -> overflow
+	out := string(r.Snapshot().OpenMetrics())
+	for _, want := range []string{
+		"mlckpt_d_bucket{le=\"1e-06\"} 1\n",
+		"mlckpt_d_bucket{le=\"0.1\"} 2\n",
+		"mlckpt_d_bucket{le=\"10\"} 3\n",
+		"mlckpt_d_bucket{le=\"+Inf\"} 4\n",
+		"mlckpt_d_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateOpenMetrics([]byte(out)); err != nil {
+		t.Fatalf("validator rejects cumulative histogram: %v", err)
+	}
+}
+
+func TestOpenMetricsDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		r.count("b", 1, false)
+		r.count("a", 2, false)
+		r.observe("h", 3, true)
+		return r.Snapshot().OpenMetrics()
+	}
+	if string(build()) != string(build()) {
+		t.Fatal("equal registries render different expositions")
+	}
+	fams := sortedFamilyNames(build())
+	want := []string{"mlckpt_a", "mlckpt_b", "mlckpt_volatile_h"}
+	if !reflect.DeepEqual(fams, want) {
+		t.Fatalf("families = %v, want %v", fams, want)
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"no EOF":               "# TYPE mlckpt_a counter\nmlckpt_a_total 1\n",
+		"undeclared sample":    "mlckpt_a_total 1\n# EOF\n",
+		"bad type":             "# TYPE mlckpt_a summary\n# EOF\n",
+		"counter w/o total":    "# TYPE mlckpt_a counter\nmlckpt_a 1\n# EOF\n",
+		"negative counter":     "# TYPE mlckpt_a counter\nmlckpt_a_total -1\n# EOF\n",
+		"gauge with suffix":    "# TYPE mlckpt_a gauge\nmlckpt_a_total 1\n# EOF\n",
+		"bucket w/o le":        "# TYPE mlckpt_h histogram\nmlckpt_h_bucket 1\n# EOF\n",
+		"decreasing buckets":   "# TYPE mlckpt_h histogram\nmlckpt_h_bucket{le=\"1\"} 2\nmlckpt_h_bucket{le=\"+Inf\"} 1\n# EOF\n",
+		"sum before +Inf":      "# TYPE mlckpt_h histogram\nmlckpt_h_sum 1\n# EOF\n",
+		"duplicate family":     "# TYPE mlckpt_a counter\n# TYPE mlckpt_a counter\nmlckpt_a_total 1\n# EOF\n",
+		"non-numeric value":    "# TYPE mlckpt_a gauge\nmlckpt_a zebra\n# EOF\n",
+		"bad metric name char": "# TYPE mlckpt_a gauge\nmlckpt-a 1\n# EOF\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateOpenMetrics([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted:\n%s", name, doc)
+		}
+	}
+}

@@ -79,14 +79,50 @@ func (r *Registry) count(name string, delta int64, volatile bool) {
 	r.mu.Unlock()
 }
 
+// maxObsMicros caps one observation's contribution to a histogram sum at
+// ±1e15 microunits (1e9 natural units — the top bucket bound). Two hazards
+// force the cap: converting an out-of-int64-range float is
+// implementation-specific in Go (silent, platform-dependent garbage), and
+// an unchecked += can wrap int64 silently. Both would corrupt the
+// deterministic section without a trace. A clamped observation instead
+// increments the adjacent "<name>_saturated" counter in the same section —
+// loud, exact, and order-independent (the clamp is per value, so the
+// counter and the sum are commutative over any observation order).
+const maxObsMicros = 1e15
+
+// satAddInt64 adds b to a, saturating at the int64 range instead of
+// wrapping. Reaching the rails takes ~9.2e3 already-clamped observations,
+// far beyond any simulated quantity; the saturation is a backstop, not an
+// expected path.
+func satAddInt64(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt64
+	}
+	if b < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
 func (r *Registry) observe(name string, v float64, volatile bool) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
+	micros := math.Round(v * 1e6)
+	saturated := false
+	if micros > maxObsMicros {
+		micros, saturated = maxObsMicros, true
+	} else if micros < -maxObsMicros {
+		micros, saturated = -maxObsMicros, true
+	}
 	r.mu.Lock()
+	if saturated {
+		r.get(name+"_saturated", volatile, kindCounter).counter++
+	}
 	m := r.get(name, volatile, kindHistogram)
 	m.count++
-	m.sumMicros += int64(math.Round(v * 1e6))
+	m.sumMicros = satAddInt64(m.sumMicros, int64(micros))
 	if v < m.min {
 		m.min = v
 	}
@@ -224,6 +260,17 @@ func exportSection(sec map[string]*metric) []Metric {
 // section (false when absent or not a counter).
 func (s Snapshot) Counter(name string) (int64, bool) {
 	for _, m := range s.Metrics {
+		if m.Name == name && m.Type == "counter" {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// VolatileCounter returns the value of a named counter in the volatile
+// section (false when absent or not a counter).
+func (s Snapshot) VolatileCounter(name string) (int64, bool) {
+	for _, m := range s.Volatile {
 		if m.Name == name && m.Type == "counter" {
 			return m.Value, true
 		}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObserveSaturationIsLoud(t *testing.T) {
+	r := NewRegistry()
+	rec := &Collector{Registry: r, Trace: NewTrace()}
+	rec.Observe("sim.huge", 1e300)
+	rec.Observe("sim.huge", 42)
+
+	s := r.Snapshot()
+	if n, ok := s.Counter("sim.huge_saturated"); !ok || n != 1 {
+		t.Fatalf("sim.huge_saturated = %d (present=%v), want 1", n, ok)
+	}
+	var m Metric
+	for _, c := range s.Metrics {
+		if c.Name == "sim.huge" {
+			m = c
+		}
+	}
+	wantSum := int64(maxObsMicros) + 42_000_000
+	if m.Count != 2 || m.SumMicros != wantSum {
+		t.Fatalf("sim.huge count=%d sum=%d, want count=2 sum=%d", m.Count, m.SumMicros, wantSum)
+	}
+	if m.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1 (1e300 is beyond the top bucket)", m.Overflow)
+	}
+}
+
+func TestObserveSaturationNegative(t *testing.T) {
+	r := NewRegistry()
+	(&Collector{Registry: r, Trace: NewTrace()}).Observe("sim.neg", -1e300)
+	s := r.Snapshot()
+	if n, _ := s.Counter("sim.neg_saturated"); n != 1 {
+		t.Fatalf("sim.neg_saturated = %d, want 1", n)
+	}
+	for _, m := range s.Metrics {
+		if m.Name == "sim.neg" && m.SumMicros != -int64(maxObsMicros) {
+			t.Fatalf("sum = %d, want %d", m.SumMicros, -int64(maxObsMicros))
+		}
+	}
+}
+
+func TestObserveSaturationOrderIndependent(t *testing.T) {
+	vals := []float64{1e300, 3.5, -1e200, 7, 1e18}
+	fwd, rev := NewRegistry(), NewRegistry()
+	for _, v := range vals {
+		fwd.observe("x", v, false)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		rev.observe("x", vals[i], false)
+	}
+	a, _ := fwd.Snapshot().MarshalIndent()
+	b, _ := rev.Snapshot().MarshalIndent()
+	if string(a) != string(b) {
+		t.Fatalf("saturation accounting is order-dependent:\n%s\nvs\n%s", a, b)
+	}
+	if n, _ := fwd.Snapshot().Counter("x_saturated"); n != 3 {
+		t.Fatalf("x_saturated = %d, want 3 (1e300, -1e200, 1e18 all clamp)", n)
+	}
+}
+
+func TestSatAddInt64Rails(t *testing.T) {
+	if got := satAddInt64(math.MaxInt64-1, 5); got != math.MaxInt64 {
+		t.Fatalf("positive rail: got %d", got)
+	}
+	if got := satAddInt64(math.MinInt64+1, -5); got != math.MinInt64 {
+		t.Fatalf("negative rail: got %d", got)
+	}
+	if got := satAddInt64(10, -3); got != 7 {
+		t.Fatalf("plain add: got %d", got)
+	}
+}
+
+func TestObserveInRangeUnaffected(t *testing.T) {
+	r := NewRegistry()
+	r.observe("y", 123.456789, false)
+	s := r.Snapshot()
+	if _, ok := s.Counter("y_saturated"); ok {
+		t.Fatal("in-range observation created a _saturated counter")
+	}
+	for _, m := range s.Metrics {
+		if m.Name == "y" && m.SumMicros != 123456789 {
+			t.Fatalf("sum = %d, want 123456789", m.SumMicros)
+		}
+	}
+}

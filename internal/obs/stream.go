@@ -1,0 +1,287 @@
+package obs
+
+import "sync"
+
+// Stream is the streaming flight recorder: a Recorder that publishes every
+// recorded event into a bounded ring buffer and fans it out to live
+// subscribers. It is the substrate for live exposition (the /events SSE
+// endpoint of the serving layer, and eventually ckptd's job streams) —
+// composed next to a Collector with Tee, it observes a run without owning
+// its artifacts.
+//
+// The stream is strictly volatile territory: event sequence numbers and
+// interleaving across tracks depend on scheduling, so nothing read from a
+// Stream may ever feed a deterministic artifact. The deterministic
+// metrics/trace files stay the Collector's job; the determinism tests pin
+// that attaching a Stream (or a subscriber) leaves those bytes unchanged.
+//
+// Back-pressure: the simulation is never blocked. Publishing is a
+// non-blocking send per subscriber; a subscriber that falls behind loses
+// events, and the loss is loud — the next event it does receive is
+// preceded by a synthetic "dropped" marker carrying the count of lost
+// events. The ring keeps the most recent events for late subscribers
+// (Subscribe with replay) and post-mortem inspection (SnapshotEvents).
+type Stream struct {
+	mu   sync.Mutex
+	ring []StreamEvent
+	next int // ring index of the oldest event once full
+	full bool
+	seq  uint64
+	subs map[*Subscription]struct{}
+	drop uint64 // events lost across all subscribers (diagnostic)
+}
+
+// StreamEvent is one published recorder call. Kind names the Recorder
+// method ("count", "observe", "count_volatile", "observe_volatile",
+// "max_volatile", "span", "instant") or the synthetic "dropped" marker,
+// whose Dropped field counts the events lost before it.
+type StreamEvent struct {
+	Seq     uint64             `json:"seq"`
+	Kind    string             `json:"kind"`
+	Name    string             `json:"name,omitempty"`
+	Track   string             `json:"track,omitempty"`
+	TS      float64            `json:"ts,omitempty"`    // virtual seconds (span/instant)
+	Dur     float64            `json:"dur,omitempty"`   // virtual seconds (span)
+	Delta   int64              `json:"delta,omitempty"` // count kinds
+	Value   float64            `json:"value,omitempty"` // observe/max kinds
+	Args    map[string]float64 `json:"args,omitempty"`
+	Dropped uint64             `json:"dropped,omitempty"`
+}
+
+// DefaultStreamRing is the ring capacity when NewStream is given n <= 0.
+const DefaultStreamRing = 4096
+
+// NewStream returns a Stream keeping the most recent n events (n <= 0
+// means DefaultStreamRing).
+func NewStream(n int) *Stream {
+	if n <= 0 {
+		n = DefaultStreamRing
+	}
+	return &Stream{ring: make([]StreamEvent, 0, n), subs: map[*Subscription]struct{}{}}
+}
+
+// Subscription is one live reader of a Stream. Receive from Events() and
+// call Close when done; a closed subscription's channel is closed.
+type Subscription struct {
+	ch      chan StreamEvent
+	pending uint64 // events lost since the last successful send
+}
+
+// Events is the subscription's delivery channel.
+func (s *Subscription) Events() <-chan StreamEvent { return s.ch }
+
+// offer delivers ev without blocking, surfacing any preceding loss as a
+// "dropped" marker. Called with the stream lock held.
+//
+//mlckpt:baton never blocks: both selects carry a default — a full subscriber loses the event (recorded in pending) and the caller continues immediately
+func (s *Subscription) offer(ev StreamEvent) {
+	if s.pending > 0 {
+		marker := StreamEvent{Seq: ev.Seq, Kind: "dropped", Dropped: s.pending}
+		select {
+		case s.ch <- marker:
+			s.pending = 0
+		default:
+			// No room even for the marker: this event is lost too.
+			s.pending++
+			return
+		}
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		s.pending++
+	}
+}
+
+// Subscribe registers a reader with the given channel buffer (<= 0 means
+// 256). With replay, the ring's buffered history is delivered first —
+// subject to the same drop-with-marker rule when it exceeds the buffer.
+func (s *Stream) Subscribe(buffer int, replay bool) *Subscription {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	sub := &Subscription{ch: make(chan StreamEvent, buffer)}
+	s.mu.Lock()
+	if replay {
+		for _, ev := range s.snapshotLocked() {
+			sub.offer(ev)
+		}
+	}
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe removes the subscription and closes its channel. Safe to
+// call once per subscription.
+func (s *Stream) Unsubscribe(sub *Subscription) {
+	s.mu.Lock()
+	_, ok := s.subs[sub]
+	delete(s.subs, sub)
+	s.mu.Unlock()
+	if ok {
+		close(sub.ch)
+	}
+}
+
+// SnapshotEvents returns the ring contents, oldest first.
+func (s *Stream) SnapshotEvents() []StreamEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Stream) snapshotLocked() []StreamEvent {
+	if !s.full {
+		return append([]StreamEvent(nil), s.ring...)
+	}
+	out := make([]StreamEvent, 0, cap(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	return append(out, s.ring[:s.next]...)
+}
+
+// Dropped returns the total events lost across all subscribers so far.
+func (s *Stream) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drop
+}
+
+// Seq returns the number of events published so far.
+func (s *Stream) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+func (s *Stream) publish(ev StreamEvent) {
+	s.mu.Lock()
+	s.seq++
+	ev.Seq = s.seq
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, ev)
+	} else {
+		s.full = true
+		s.ring[s.next] = ev
+		s.next++
+		if s.next == cap(s.ring) {
+			s.next = 0
+		}
+	}
+	for sub := range s.subs {
+		before := sub.pending
+		sub.offer(ev)
+		if sub.pending > before {
+			s.drop++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Count implements Recorder.
+func (s *Stream) Count(name string, delta int64) {
+	s.publish(StreamEvent{Kind: "count", Name: name, Delta: delta})
+}
+
+// Observe implements Recorder.
+func (s *Stream) Observe(name string, v float64) {
+	s.publish(StreamEvent{Kind: "observe", Name: name, Value: v})
+}
+
+// CountVolatile implements Recorder.
+func (s *Stream) CountVolatile(name string, delta int64) {
+	s.publish(StreamEvent{Kind: "count_volatile", Name: name, Delta: delta})
+}
+
+// ObserveVolatile implements Recorder.
+func (s *Stream) ObserveVolatile(name string, v float64) {
+	s.publish(StreamEvent{Kind: "observe_volatile", Name: name, Value: v})
+}
+
+// MaxVolatile implements Recorder.
+func (s *Stream) MaxVolatile(name string, v float64) {
+	s.publish(StreamEvent{Kind: "max_volatile", Name: name, Value: v})
+}
+
+// Span implements Recorder. The args map is referenced, not copied; all
+// in-repo emitters build a fresh map per call.
+func (s *Stream) Span(track, name string, start, dur float64, args map[string]float64) {
+	if track == "" {
+		return
+	}
+	s.publish(StreamEvent{Kind: "span", Track: track, Name: name, TS: start, Dur: dur, Args: args})
+}
+
+// Instant implements Recorder.
+func (s *Stream) Instant(track, name string, ts float64, args map[string]float64) {
+	if track == "" {
+		return
+	}
+	s.publish(StreamEvent{Kind: "instant", Track: track, Name: name, TS: ts, Args: args})
+}
+
+// tee fans every Recorder call out to multiple sinks.
+type tee struct{ sinks []Recorder }
+
+// Tee composes Recorders: every call is forwarded to each non-nil sink in
+// order. It is how a CLI attaches the flight recorder next to the
+// artifact-owning Collector, or an experiment keeps a private collector
+// while forwarding to a shared one. Nil sinks are dropped; zero sinks
+// yield the no-op Recorder, one sink is returned unwrapped.
+func Tee(sinks ...Recorder) Recorder {
+	kept := make([]Recorder, 0, len(sinks))
+	for _, r := range sinks {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop()
+	case 1:
+		return kept[0]
+	}
+	return tee{sinks: kept}
+}
+
+func (t tee) Count(name string, delta int64) {
+	for _, r := range t.sinks {
+		r.Count(name, delta)
+	}
+}
+
+func (t tee) Observe(name string, v float64) {
+	for _, r := range t.sinks {
+		r.Observe(name, v)
+	}
+}
+
+func (t tee) CountVolatile(name string, delta int64) {
+	for _, r := range t.sinks {
+		r.CountVolatile(name, delta)
+	}
+}
+
+func (t tee) ObserveVolatile(name string, v float64) {
+	for _, r := range t.sinks {
+		r.ObserveVolatile(name, v)
+	}
+}
+
+func (t tee) MaxVolatile(name string, v float64) {
+	for _, r := range t.sinks {
+		r.MaxVolatile(name, v)
+	}
+}
+
+func (t tee) Span(track, name string, start, dur float64, args map[string]float64) {
+	for _, r := range t.sinks {
+		r.Span(track, name, start, dur, args)
+	}
+}
+
+func (t tee) Instant(track, name string, ts float64, args map[string]float64) {
+	for _, r := range t.sinks {
+		r.Instant(track, name, ts, args)
+	}
+}

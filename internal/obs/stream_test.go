@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func collectReady(sub *Subscription) []StreamEvent {
+	var out []StreamEvent
+	for {
+		select {
+		case ev := <-sub.Events():
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestStreamRingRotation(t *testing.T) {
+	s := NewStream(3)
+	for i := 1; i <= 5; i++ {
+		s.Count("sim.n", int64(i))
+	}
+	evs := s.SnapshotEvents()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(i + 3) // oldest surviving event is seq 3
+		if ev.Seq != wantSeq || ev.Kind != "count" || ev.Delta != int64(wantSeq) {
+			t.Fatalf("event %d = %+v, want seq %d delta %d", i, ev, wantSeq, wantSeq)
+		}
+	}
+	if got := s.Seq(); got != 5 {
+		t.Fatalf("Seq() = %d, want 5", got)
+	}
+}
+
+func TestStreamSubscribeReplayAndLive(t *testing.T) {
+	s := NewStream(8)
+	s.Observe("a", 1)
+	s.Observe("a", 2)
+	sub := s.Subscribe(16, true)
+	defer s.Unsubscribe(sub)
+	s.Observe("a", 3)
+	evs := collectReady(sub)
+	if len(evs) != 3 {
+		t.Fatalf("subscriber got %d events, want 3 (2 replayed + 1 live)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Kind != "observe" || ev.Value != float64(i+1) {
+			t.Fatalf("event %d = %+v, want observe value %d", i, ev, i+1)
+		}
+	}
+}
+
+func TestStreamDropWithMarkerNeverBlocks(t *testing.T) {
+	s := NewStream(64)
+	sub := s.Subscribe(2, false)
+	defer s.Unsubscribe(sub)
+	// Publish more than the buffer without draining: must not block, and
+	// the loss must surface as a marker once room frees up.
+	for i := 1; i <= 6; i++ {
+		s.Count("sim.n", int64(i))
+	}
+	evs := collectReady(sub)
+	if len(evs) != 2 || evs[0].Delta != 1 || evs[1].Delta != 2 {
+		t.Fatalf("pre-drain events = %+v, want deltas 1,2", evs)
+	}
+	if s.Dropped() != 4 {
+		t.Fatalf("Dropped() = %d, want 4", s.Dropped())
+	}
+	s.Count("sim.n", 7)
+	evs = collectReady(sub)
+	if len(evs) != 2 {
+		t.Fatalf("post-drain events = %+v, want marker + event", evs)
+	}
+	if evs[0].Kind != "dropped" || evs[0].Dropped != 4 {
+		t.Fatalf("first post-drain event = %+v, want dropped marker with count 4", evs[0])
+	}
+	if evs[1].Kind != "count" || evs[1].Delta != 7 {
+		t.Fatalf("second post-drain event = %+v, want count delta 7", evs[1])
+	}
+}
+
+func TestStreamUnsubscribeClosesChannel(t *testing.T) {
+	s := NewStream(4)
+	sub := s.Subscribe(1, false)
+	s.Unsubscribe(sub)
+	if _, open := <-sub.Events(); open {
+		t.Fatal("channel still open after Unsubscribe")
+	}
+	s.Count("sim.n", 1) // must not panic on the removed subscriber
+}
+
+func TestStreamEmptyTrackDropped(t *testing.T) {
+	s := NewStream(4)
+	s.Span("", "checkpoint", 0, 1, nil)
+	s.Instant("", "failure", 0, nil)
+	if got := s.Seq(); got != 0 {
+		t.Fatalf("empty-track events published: Seq() = %d, want 0", got)
+	}
+}
+
+func TestTeeFansOutAndCollapses(t *testing.T) {
+	if Tee() != Nop() {
+		t.Fatal("Tee() should collapse to Nop")
+	}
+	c := NewCollector()
+	if Tee(nil, c) != Recorder(c) {
+		t.Fatal("Tee(nil, c) should unwrap to c")
+	}
+
+	a, b := NewCollector(), NewCollector()
+	r := Tee(a, b)
+	r.Count("sim.n", 2)
+	r.Observe("sim.d", 0.5)
+	r.CountVolatile("v.n", 1)
+	r.ObserveVolatile("v.d", 0.25)
+	r.MaxVolatile("v.m", 9)
+	r.Span("t", "checkpoint", 0, 1, map[string]float64{"level": 2})
+	r.Instant("t", "failure", 1, nil)
+
+	sa, sb := a.Registry.Snapshot(), b.Registry.Snapshot()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("teed registries diverge:\n%+v\n%+v", sa, sb)
+	}
+	if n, _ := sa.Counter("sim.n"); n != 2 {
+		t.Fatalf("sim.n = %d, want 2", n)
+	}
+	ea, eb := a.Trace.Events("t"), b.Trace.Events("t")
+	if !reflect.DeepEqual(ea, eb) || len(ea) != 2 {
+		t.Fatalf("teed traces diverge or wrong length: %v vs %v", ea, eb)
+	}
+}
+
+func TestStreamBesideCollectorLeavesArtifactsUnchanged(t *testing.T) {
+	run := func(rec Recorder) *Collector {
+		c := NewCollector()
+		r := Tee(c, rec)
+		r.Count("sim.failures", 3)
+		r.Observe("sim.wall", 123.5)
+		r.Span("sim/x", "checkpoint", 0, 1.5, map[string]float64{"level": 1})
+		r.Instant("sim/x", "complete", 2, map[string]float64{"progress": 2})
+		return c
+	}
+	plain := run(nil)
+	st := NewStream(0)
+	sub := st.Subscribe(4, false) // deliberately too small: forces drops
+	defer st.Unsubscribe(sub)
+	teed := run(st)
+
+	mp, _ := plain.Registry.Snapshot().MarshalIndent()
+	mt, _ := teed.Registry.Snapshot().MarshalIndent()
+	if string(mp) != string(mt) {
+		t.Fatal("attaching a Stream changed the metrics bytes")
+	}
+	tp, _ := plain.Trace.MarshalJSON()
+	tt, _ := teed.Trace.MarshalJSON()
+	if string(tp) != string(tt) {
+		t.Fatal("attaching a Stream changed the trace bytes")
+	}
+	if st.Seq() != 4 {
+		t.Fatalf("stream saw %d events, want 4", st.Seq())
+	}
+}

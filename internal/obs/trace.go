@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -60,6 +62,91 @@ func (t *Trace) add(track, name, phase string, ts, dur float64, args map[string]
 	t.mu.Lock()
 	t.tracks[track] = append(t.tracks[track], traceEvent{name: name, phase: phase, ts: ts, dur: dur, args: copied})
 	t.mu.Unlock()
+}
+
+// TrackEvent is the exported view of one buffered event, used by trace
+// consumers (the waste-attribution engine, cmd/obstool) that walk a track
+// in append order. Phase is "X" for complete spans and "i" for instants.
+type TrackEvent struct {
+	Track string
+	Name  string
+	Phase string
+	TS    float64 // virtual seconds
+	Dur   float64 // virtual seconds; 0 for instants
+	Args  map[string]float64
+}
+
+// Span reports whether the event is a complete span (as opposed to an
+// instant).
+func (e TrackEvent) Span() bool { return e.Phase == phaseComplete }
+
+// Arg returns a named argument (0 when absent).
+func (e TrackEvent) Arg(name string) float64 { return e.Args[name] }
+
+// Events returns a copy of one track's events in append order — the
+// deterministic program order of the computation that owned the track.
+// Args maps are shared read-only with the buffer; callers must not mutate
+// them.
+func (t *Trace) Events(track string) []TrackEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.tracks[track]
+	out := make([]TrackEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = TrackEvent{Track: track, Name: ev.name, Phase: ev.phase, TS: ev.ts, Dur: ev.dur, Args: ev.args}
+	}
+	return out
+}
+
+// DecodeTraceJSON parses an exported Chrome trace (the MarshalJSON format)
+// back into a Trace, so tools can consume artifact files with the same
+// accessors they use in-process. Timestamps round-trip through the file's
+// microsecond encoding, which costs at most one ulp of virtual time; the
+// attribution identity is insensitive to that (see internal/obs/attrib).
+func DecodeTraceJSON(data []byte) (*Trace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var ct chromeTrace
+	if err := dec.Decode(&ct); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if ct.Schema != TraceSchema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrInvalid, ct.Schema, TraceSchema)
+	}
+	names := map[int]string{}
+	tr := NewTrace()
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == phaseMeta {
+			if name, ok := ev.Args["name"].(string); ok && ev.Name == "thread_name" {
+				names[ev.TID] = name
+			}
+			continue
+		}
+		if ev.Ph != phaseComplete && ev.Ph != phaseInstant {
+			return nil, fmt.Errorf("%w: event %q: unknown phase %q", ErrInvalid, ev.Name, ev.Ph)
+		}
+		track, ok := names[ev.TID]
+		if !ok {
+			return nil, fmt.Errorf("%w: event %q: tid %d has no thread_name metadata", ErrInvalid, ev.Name, ev.TID)
+		}
+		var args map[string]float64
+		for k, v := range ev.Args {
+			f, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("%w: event %q: non-numeric arg %q", ErrInvalid, ev.Name, k)
+			}
+			if args == nil {
+				args = make(map[string]float64, len(ev.Args))
+			}
+			args[k] = f
+		}
+		dur := 0.0
+		if ev.Dur != nil {
+			dur = *ev.Dur / 1e6
+		}
+		tr.add(track, ev.Name, ev.Ph, ev.TS/1e6, dur, args)
+	}
+	return tr, nil
 }
 
 // Len reports the number of buffered events across all tracks.

@@ -349,17 +349,17 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 					break
 				}
 				pen := rng.Jitter(p.Levels[best].Recovery.At(n), cfg.JitterRatio)
+				if tracing() {
+					rec.Span(cfg.ObsTrack, "silent-detect", wall, pen, map[string]float64{
+						"level": float64(best + 1),
+					})
+				}
 				wall += pen
 				res.Restart += pen
 				res.SilentDetected++
 				lastCkpt[best] = 0
 				corrupt[best] = false
 				record(EvSilentDetect, best)
-				if tracing() {
-					rec.Instant(cfg.ObsTrack, "silent-detect", wall, map[string]float64{
-						"level": float64(best + 1),
-					})
-				}
 			}
 		}
 		q := 0.0
@@ -403,6 +403,14 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 		record(EvFailure, c)
 		failureInstant(c)
 		restoreLvl := strike(c)
+		rollbackInstant := func() {
+			if tracing() {
+				rec.Instant(cfg.ObsTrack, "rollback", wall, map[string]float64{
+					"to": progress, "restore_level": float64(restoreLvl + 1),
+				})
+			}
+		}
+		rollbackInstant()
 		// Correlated-window merge (paper footnote 1): failures of class
 		// ≤ c arriving within the window belong to this event.
 		if cfg.CorrelationWindow > 0 {
@@ -454,6 +462,11 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 			// restart time; recovery begins again, possibly from an older
 			// checkpoint if the new class is higher.
 			consumeFailure()
+			if tracing() {
+				rec.Span(cfg.ObsTrack, "recovery-abort", wall, ev.Time-wall, map[string]float64{
+					"restore_level": float64(restoreLvl + 1),
+				})
+			}
 			res.Restart += ev.Time - wall
 			wall = ev.Time
 			res.Failures[ev.Level]++
@@ -463,6 +476,7 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 				c = ev.Level
 			}
 			restoreLvl = strike(c)
+			rollbackInstant()
 		}
 	}
 
@@ -530,8 +544,12 @@ func Run(cfg Config, rng *stats.RNG) (Result, error) {
 				res.Checkpoint += wasted
 			}
 			if tracing() {
+				redoArg := 0.0
+				if redo {
+					redoArg = 1
+				}
 				rec.Span(cfg.ObsTrack, "checkpoint-abort", wall, wasted, map[string]float64{
-					"level": float64(dueLevel + 1), "progress": progress,
+					"level": float64(dueLevel + 1), "progress": progress, "redo": redoArg,
 				})
 			}
 			wall = ev.Time
