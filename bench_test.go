@@ -165,6 +165,46 @@ func BenchmarkOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4Batch is the Figure 4 study at a larger scale point (32
+// ranks, doubled real-run averaging) — the configuration the batched grid
+// path has to keep affordable.
+func BenchmarkFig4Batch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(32, 4, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkOptimizeBatch measures the batched Algorithm 1 surface on a
+// full evaluation grid — all six failure cases across all four policies in
+// one lockstep core.OptimizeBatch call (the shape RunGrid submits).
+func BenchmarkOptimizeBatch(b *testing.B) {
+	var problems []core.Problem
+	for _, spec := range experiments.FailureCases {
+		sc := experiments.EvalScenario(3e6, spec)
+		for _, pol := range core.Policies {
+			prob, err := pol.BatchProblem(sc.Params(), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			problems = append(problems, prob)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, out := range core.OptimizeBatch(problems) {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkSimulateRun measures one simulated execution.
 func BenchmarkSimulateRun(b *testing.B) {
 	sc := experiments.EvalScenario(3e6, "16-12-8-4")

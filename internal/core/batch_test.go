@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/model"
+	"mlckpt/internal/obs"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// batchSpecs builds a spread of problem instances across failure regimes,
+// level counts, speedup kinds, and option variants — wide enough that the
+// lockstep path exercises damping, caps, FixedN, SinglePass, and both
+// convergent and hard instances.
+func batchSpecs() []Problem {
+	rng := rand.New(rand.NewSource(11))
+	var out []Problem
+	for _, spec := range []string{"16-12-8-4", "160-120-80-40", "1-1-1-1", "320-240-160-80"} {
+		out = append(out, Problem{
+			Params: &model.Params{
+				Te:      3e6 * failure.SecondsPerDay,
+				Speedup: speedup.Quadratic{Kappa: 0.46, NStar: 1e6},
+				Levels:  overhead.SymmetricLevels(overhead.ExascaleCosts(), 0.5),
+				Alloc:   60,
+				Rates:   failure.MustParseRates(spec, 1e6),
+			},
+			Opts: Options{OuterTol: 1e-12},
+		})
+	}
+	// Option variants on the paper problem.
+	base := out[0].Params
+	out = append(out,
+		Problem{Params: base, Opts: Options{FixedN: 5e5}},
+		Problem{Params: base, Opts: Options{SinglePass: true}},
+		Problem{Params: base, Opts: Options{Accelerate: true, OuterTol: 1e-12}},
+		Problem{Params: base, Opts: Options{MaxScale: 2e5}},
+		Problem{Params: base, Opts: Options{Damping: 0.3}},
+	)
+	// Randomized smaller problems.
+	for i := 0; i < 8; i++ {
+		L := 1 + rng.Intn(4)
+		costs := make([]overhead.Cost, L)
+		for j := range costs {
+			costs[j] = overhead.Cost{Const: 0.5 + rng.Float64()*5*float64(j+1), Coeff: rng.Float64() * 0.01, H: overhead.LinearN}
+			if rng.Intn(2) == 0 {
+				costs[j].Cap = 1e4 + rng.Float64()*4e5
+			}
+		}
+		perDay := make([]float64, L)
+		for j := range perDay {
+			perDay[j] = 1 + rng.Float64()*30
+		}
+		out = append(out, Problem{
+			Params: &model.Params{
+				Te:      (1e5 + rng.Float64()*3e6) * failure.SecondsPerDay,
+				Speedup: speedup.Quadratic{Kappa: 0.2 + rng.Float64(), NStar: 1e5 + rng.Float64()*9e5},
+				Levels:  overhead.SymmetricLevels(costs, 0.5+rng.Float64()),
+				Alloc:   rng.Float64() * 120,
+				Rates:   failure.Rates{PerDay: perDay, Baseline: 1e6},
+			},
+			Opts: Options{},
+		})
+	}
+	// An invalid lane: the batch must report the error without poisoning
+	// its neighbors.
+	out = append(out, Problem{Params: &model.Params{}, Opts: Options{}})
+	return out
+}
+
+func solutionsEqual(t *testing.T, lane int, got, want Solution) {
+	t.Helper()
+	bits := math.Float64bits
+	if len(got.X) != len(want.X) {
+		t.Fatalf("lane %d: X length %d vs %d", lane, len(got.X), len(want.X))
+	}
+	for i := range want.X {
+		if bits(got.X[i]) != bits(want.X[i]) {
+			t.Fatalf("lane %d: X[%d] = %v, want %v", lane, i, got.X[i], want.X[i])
+		}
+	}
+	if bits(got.N) != bits(want.N) || bits(got.WallClock) != bits(want.WallClock) {
+		t.Fatalf("lane %d: (N, WallClock) = (%v, %v), want (%v, %v)", lane, got.N, got.WallClock, want.N, want.WallClock)
+	}
+	for i := range want.Mu {
+		if bits(got.Mu[i]) != bits(want.Mu[i]) {
+			t.Fatalf("lane %d: Mu[%d] = %v, want %v", lane, i, got.Mu[i], want.Mu[i])
+		}
+	}
+	if got.OuterIterations != want.OuterIterations || got.InnerIterations != want.InnerIterations || got.Converged != want.Converged {
+		t.Fatalf("lane %d: iterations/converged (%d, %d, %v), want (%d, %d, %v)",
+			lane, got.OuterIterations, got.InnerIterations, got.Converged,
+			want.OuterIterations, want.InnerIterations, want.Converged)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("lane %d: history length %d vs %d", lane, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		g, w := got.History[i], want.History[i]
+		if bits(g.N) != bits(w.N) || bits(g.WallClock) != bits(w.WallClock) || bits(g.MuDelta) != bits(w.MuDelta) {
+			t.Fatalf("lane %d: history[%d] (%v, %v, %v), want (%v, %v, %v)",
+				lane, i, g.N, g.WallClock, g.MuDelta, w.N, w.WallClock, w.MuDelta)
+		}
+		for j := range w.Mu {
+			if bits(g.Mu[j]) != bits(w.Mu[j]) {
+				t.Fatalf("lane %d: history[%d].Mu[%d] = %v, want %v", lane, i, j, g.Mu[j], w.Mu[j])
+			}
+		}
+	}
+}
+
+// TestOptimizeBatchMatchesSequential is the batched-solver oracle contract:
+// OptimizeBatch must reproduce a sequential Optimize loop bit for bit —
+// solutions, histories, iteration counts, and errors alike.
+func TestOptimizeBatchMatchesSequential(t *testing.T) {
+	problems := batchSpecs()
+	got := OptimizeBatch(problems)
+	if len(got) != len(problems) {
+		t.Fatalf("%d outcomes for %d problems", len(got), len(problems))
+	}
+	for i, pr := range problems {
+		want, wantErr := Optimize(pr.Params, pr.Opts)
+		if (got[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("lane %d: err %v, want %v", i, got[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			if got[i].Err.Error() != wantErr.Error() {
+				t.Fatalf("lane %d: err %q, want %q", i, got[i].Err, wantErr)
+			}
+			continue
+		}
+		solutionsEqual(t, i, got[i].Solution, want)
+	}
+}
+
+// TestOptimizeBatchObsMatchesSequential pins the telemetry contract: a
+// batched solve must emit exactly the counters a sequential loop emits.
+func TestOptimizeBatchObsMatchesSequential(t *testing.T) {
+	problems := batchSpecs()
+	run := func(batch bool) *obs.Collector {
+		col := obs.NewCollector()
+		prs := make([]Problem, len(problems))
+		for i, pr := range problems {
+			pr.Opts.Obs = col
+			pr.Opts.ObsLabel = fmt.Sprintf("lane-%d", i)
+			prs[i] = pr
+		}
+		if batch {
+			OptimizeBatch(prs)
+		} else {
+			for _, pr := range prs {
+				Optimize(pr.Params, pr.Opts) //nolint:errcheck
+			}
+		}
+		return col
+	}
+	export := func(col *obs.Collector) string {
+		m, err := col.Registry.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := col.Trace.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(m) + string(tr)
+	}
+	seq := export(run(false))
+	bat := export(run(true))
+	if seq != bat {
+		t.Fatalf("telemetry diverged between sequential and batched solves:\nsequential: %s\nbatched: %s", seq, bat)
+	}
+}
+
+// TestSolveInnerBatchMatchesSequential pins the lockstep inner solver
+// against per-lane SolveInner calls.
+func TestSolveInnerBatchMatchesSequential(t *testing.T) {
+	problems := batchSpecs()
+	problems = problems[:len(problems)-1] // drop the invalid lane: SolveInner assumes valid params
+	tEst := make([]float64, len(problems))
+	nInit := make([]float64, len(problems))
+	for i, pr := range problems {
+		n := pr.Params.Speedup.IdealScale()
+		tEst[i] = pr.Params.ProductiveTime(n) * (1 + 0.1*float64(i%3))
+		nInit[i] = n
+	}
+	got := SolveInnerBatch(problems, tEst, nInit)
+	for i, pr := range problems {
+		x, n, iters, err := SolveInner(pr.Params, tEst[i], nInit[i], pr.Opts)
+		if (got[i].Err == nil) != (err == nil) {
+			t.Fatalf("lane %d: err %v, want %v", i, got[i].Err, err)
+		}
+		if got[i].Iterations != iters || math.Float64bits(got[i].N) != math.Float64bits(n) {
+			t.Fatalf("lane %d: (N, iters) = (%v, %d), want (%v, %d)", i, got[i].N, got[i].Iterations, n, iters)
+		}
+		for j := range x {
+			if math.Float64bits(got[i].X[j]) != math.Float64bits(x[j]) {
+				t.Fatalf("lane %d: X[%d] = %v, want %v", i, j, got[i].X[j], x[j])
+			}
+		}
+	}
+}
+
+// TestSolveScaleMatchesScalarReference differentially tests the batched
+// scale search against the retained scalar implementation on randomized
+// iterates: same root, bit for bit.
+func TestSolveScaleMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		spec := []string{"16-12-8-4", "160-120-80-40", "1-0-0-2"}[trial%3]
+		p := paperParams(1e5+rng.Float64()*5e6, spec)
+		opts := Options{}.withDefaults()
+		ceiling := p.Speedup.IdealScale()
+		st := newInnerState(p, nil)
+		L := p.L()
+		x := make([]float64, L)
+		b := make([]float64, L)
+		for i := range x {
+			x[i] = 1 + rng.Float64()*500
+			b[i] = rng.Float64() * 2e-6
+		}
+		copy(st.x, x)
+		copy(st.b, b)
+		nBatch, errBatch := st.solveScale(opts, ceiling)
+		nScalar, errScalar := solveScaleScalar(p, x, b, opts, ceiling)
+		if (errBatch == nil) != (errScalar == nil) {
+			t.Fatalf("trial %d: err %v vs %v", trial, errBatch, errScalar)
+		}
+		if math.Float64bits(nBatch) != math.Float64bits(nScalar) {
+			t.Fatalf("trial %d: batched scale %v, scalar %v", trial, nBatch, nScalar)
+		}
+	}
+}
+
+// TestOptimizeSteadyStateAllocs pins the allocation profile of the scalar
+// entry point after the scratch-hoisting pass: the 1,675 allocs/op of the
+// seed implementation must not creep back.
+func TestOptimizeSteadyStateAllocs(t *testing.T) {
+	p := paperParams(3e6, "16-12-8-4")
+	if _, err := Optimize(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := Optimize(p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Slab + arena construction, Solution buffers, and per-outer History
+	// records remain; the per-inner-iteration allocations are gone.
+	if avg > 200 {
+		t.Errorf("Optimize allocates %.0f times per solve; want ≤ 200 (seed was 1675)", avg)
+	}
+}

@@ -10,6 +10,180 @@ import (
 	"mlckpt/internal/obs"
 )
 
+// scaleGridN is the scan resolution of the scale search: the gradient is
+// evaluated on scaleGridN+1 equispaced points of [ScaleFloor, ceiling] and
+// every sign change is bisected.
+const scaleGridN = 64
+
+// innerState is the reusable workspace of one inner solver instance: the
+// per-level iterate vectors, the precomputed gradient-scan slab (the scan
+// grid depends only on [ScaleFloor, ceiling], so its cost/speedup slabs are
+// filled once and reused across every inner iteration and outer step), and
+// the bisection/argmin scratch. One instance serves one Params value; it is
+// not safe for concurrent use.
+type innerState struct {
+	p *model.Params
+	L int
+
+	b, x, prevX, mu []float64
+
+	grid           *model.Slab // bound to the fixed scan grid
+	gridNs, gridG  []float64
+	loBits, hiBits uint64
+	gridOK         bool
+
+	pts  *model.Slab // midpoint/candidate evaluation slab
+	ptNs []float64
+	ptV  []float64
+
+	cand  []float64
+	lanes []bisectBracket
+}
+
+// newInnerState builds a workspace for p. vecs, when non-nil, provides the
+// backing for the four per-level vectors (len >= 4·L) so batched solvers
+// can arena-allocate the scratch of many lanes in one slab.
+func newInnerState(p *model.Params, vecs []float64) *innerState {
+	L := p.L()
+	if vecs == nil {
+		vecs = make([]float64, 4*L)
+	}
+	return &innerState{
+		p: p, L: L,
+		b:      vecs[0*L : 1*L],
+		x:      vecs[1*L : 2*L],
+		prevX:  vecs[2*L : 3*L],
+		mu:     vecs[3*L : 4*L],
+		grid:   p.NewSlab(scaleGridN + 1),
+		gridNs: make([]float64, scaleGridN+1),
+		gridG:  make([]float64, scaleGridN+1),
+		pts:    p.NewSlab(8),
+	}
+}
+
+// innerRun is one resumable inner solve over an innerState: start seeds the
+// iterate, step advances exactly one fixed-point iteration. SolveInner runs
+// one to completion; the batched solvers advance many in lockstep.
+type innerRun struct {
+	st      *innerState
+	opts    Options
+	ceiling float64
+	n       float64
+	iter    int
+	done    bool
+	err     error
+}
+
+// start seeds the run: the μ_i(N) = b_i·N coefficients from the wall-clock
+// estimate, the starting scale, and the Young initialization (Formula 25).
+func (r *innerRun) start(st *innerState, tEst, nInit float64, opts Options) {
+	r.st = st
+	r.opts = opts.withDefaults()
+	r.iter = 0
+	r.done = false
+	r.err = nil
+	p := st.p
+	p.BOfTInto(st.b, tEst)
+
+	n := nInit
+	ceiling := p.Speedup.IdealScale()
+	if r.opts.MaxScale > 0 && r.opts.MaxScale < ceiling {
+		ceiling = r.opts.MaxScale
+	}
+	if r.opts.FixedN > 0 {
+		n = r.opts.FixedN
+	}
+	if n <= 0 || n > ceiling {
+		n = ceiling
+	}
+	r.ceiling = ceiling
+	r.n = n
+
+	muInto(st.mu, st.b, n)
+	for i := range st.x {
+		st.x[i] = p.YoungX(n, st.mu, i)
+	}
+}
+
+// step advances one fixed-point iteration: the Gauss–Seidel interval sweep
+// and the scale update, with the convergence test against the previous
+// iterate. It reports whether the run finished (converged, errored, or hit
+// the iteration cap).
+func (r *innerRun) step() bool {
+	if r.done {
+		return true
+	}
+	st := r.st
+	p, L := st.p, st.L
+	r.iter++
+	iter := r.iter
+
+	copy(st.prevX, st.x)
+	prevN := r.n
+	// High failure rates couple x and N strongly enough that the bare
+	// alternation can contract very slowly; once it has clearly not
+	// converged quickly, blend each update with the previous iterate.
+	damp := 0.0
+	if iter > 50 {
+		damp = 0.5
+	}
+
+	n := r.n
+	muInto(st.mu, st.b, n)
+	x, mu := st.x, st.mu
+	pt := p.ProductiveTime(n)
+	// Interval sweep, lowest level first so the Σ_{j<i}C_j·x_j prefix
+	// uses current-iteration values (Gauss–Seidel style, which
+	// converges in fewer sweeps than Jacobi here).
+	for i := 0; i < L; i++ {
+		ci := p.Levels[i].Checkpoint.At(n)
+		if ci <= 0 || mu[i] <= 0 {
+			x[i] = 1
+			continue
+		}
+		prefix := pt
+		for j := 0; j < i; j++ {
+			prefix += p.Levels[j].Checkpoint.At(n) * x[j]
+		}
+		suffix := 0.0
+		for j := i + 1; j < L; j++ {
+			suffix += mu[j] / x[j]
+		}
+		v := math.Sqrt(mu[i] * prefix / (2 * ci * (1 + suffix/2)))
+		if v < 1 || math.IsNaN(v) {
+			v = 1
+		}
+		x[i] = (1-damp)*v + damp*x[i]
+	}
+
+	if r.opts.FixedN <= 0 {
+		nNew, err := st.solveScale(r.opts, r.ceiling)
+		if err != nil {
+			r.err = err
+			r.done = true
+			return true
+		}
+		r.n = (1-damp)*nNew + damp*r.n
+	}
+
+	worst := math.Abs(r.n-prevN) / (1 + math.Abs(prevN))
+	for i := range x {
+		if d := math.Abs(x[i]-st.prevX[i]) / (1 + math.Abs(st.prevX[i])); d > worst {
+			worst = d
+		}
+	}
+	if worst <= r.opts.InnerTol {
+		r.done = true
+		return true
+	}
+	if iter >= r.opts.InnerMaxIter {
+		r.err = fmt.Errorf("%w: inner solve after %d iterations", ErrNoConverge, r.opts.InnerMaxIter)
+		r.done = true
+		return true
+	}
+	return false
+}
+
 // SolveInner performs the inner convex solve of Algorithm 1 (line 5): with
 // the expected failure counts frozen as μ_i(N) = b_i·N (b_i derived from
 // the wall-clock estimate tEst), it alternates
@@ -26,90 +200,198 @@ import (
 //
 // until both stabilize. It returns the interval counts, the scale, and the
 // iterations used.
+//
+// The scale search runs on the batch kernels of model.Slab (bit-identical
+// to the scalar formulas; see internal/model/batch.go); pass
+// Options.NumericGradN for the scalar finite-difference ablation path.
 func SolveInner(p *model.Params, tEst, nInit float64, opts Options) ([]float64, float64, int, error) {
-	opts = opts.withDefaults()
-	L := p.L()
-	b := p.BOfT(tEst)
-
-	n := nInit
-	ceiling := p.Speedup.IdealScale()
-	if opts.MaxScale > 0 && opts.MaxScale < ceiling {
-		ceiling = opts.MaxScale
+	st := newInnerState(p, nil)
+	var r innerRun
+	r.start(st, tEst, nInit, opts)
+	for !r.step() {
 	}
-	if opts.FixedN > 0 {
-		n = opts.FixedN
-	}
-	if n <= 0 || n > ceiling {
-		n = ceiling
-	}
-
-	// Young initialization (Formula 25).
-	x := make([]float64, L)
-	mu := muAt(b, n)
-	for i := range x {
-		x[i] = p.YoungX(n, mu, i)
-	}
-
-	for iter := 1; iter <= opts.InnerMaxIter; iter++ {
-		prevX := append([]float64(nil), x...)
-		prevN := n
-		// High failure rates couple x and N strongly enough that the bare
-		// alternation can contract very slowly; once it has clearly not
-		// converged quickly, blend each update with the previous iterate.
-		damp := 0.0
-		if iter > 50 {
-			damp = 0.5
-		}
-
-		mu = muAt(b, n)
-		pt := p.ProductiveTime(n)
-		// Interval sweep, lowest level first so the Σ_{j<i}C_j·x_j prefix
-		// uses current-iteration values (Gauss–Seidel style, which
-		// converges in fewer sweeps than Jacobi here).
-		for i := 0; i < L; i++ {
-			ci := p.Levels[i].Checkpoint.At(n)
-			if ci <= 0 || mu[i] <= 0 {
-				x[i] = 1
-				continue
-			}
-			prefix := pt
-			for j := 0; j < i; j++ {
-				prefix += p.Levels[j].Checkpoint.At(n) * x[j]
-			}
-			suffix := 0.0
-			for j := i + 1; j < L; j++ {
-				suffix += mu[j] / x[j]
-			}
-			v := math.Sqrt(mu[i] * prefix / (2 * ci * (1 + suffix/2)))
-			if v < 1 || math.IsNaN(v) {
-				v = 1
-			}
-			x[i] = (1-damp)*v + damp*x[i]
-		}
-
-		if opts.FixedN <= 0 {
-			nNew, err := solveScale(p, x, b, opts, ceiling)
-			if err != nil {
-				return x, n, iter, err
-			}
-			n = (1-damp)*nNew + damp*n
-		}
-
-		worst := math.Abs(n-prevN) / (1 + math.Abs(prevN))
-		for i := range x {
-			if d := math.Abs(x[i]-prevX[i]) / (1 + math.Abs(prevX[i])); d > worst {
-				worst = d
-			}
-		}
-		if worst <= opts.InnerTol {
-			return x, n, iter, nil
-		}
-	}
-	return x, n, opts.InnerMaxIter, fmt.Errorf("%w: inner solve after %d iterations", ErrNoConverge, opts.InnerMaxIter)
+	return append([]float64(nil), st.x...), r.n, r.iter, r.err
 }
 
-// solveScale finds the root of ∂E/∂N on [floor, ceiling] for fixed x.
-func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) (float64, error) {
+// solveScale finds the root of ∂E/∂N on [floor, ceiling] for the current
+// iterate: a gradient scan over the precomputed grid slab, a lockstep
+// bisection of every sign change, and a batched argmin over the candidate
+// optima. Results are bit-identical to the scalar scan this replaces (the
+// kernels reproduce Formula 24/21 exactly, and the bisection replicates
+// numopt.Bisect including its early-return and error semantics).
+func (st *innerState) solveScale(opts Options, ceiling float64) (float64, error) {
+	if opts.NumericGradN {
+		return solveScaleScalar(st.p, st.x, st.b, opts, ceiling)
+	}
+	rec := obs.OrNop(opts.Obs)
+	lo := opts.ScaleFloor
+	hi := ceiling
+	st.ensureGrid(lo, hi)
+	st.grid.GradNFixedX(st.gridG, st.x, st.b)
+
+	// Candidate optima: the interval endpoints, every stationary point of
+	// the gradient, and any cost-saturation caps. A saturation kink can
+	// split the objective into two convex branches, each with its own
+	// stationary point, so a single bisection is not enough: scan a grid
+	// for every sign change and bisect each bracket, then take the argmin.
+	st.cand = append(st.cand[:0], lo, hi)
+	for _, lv := range st.p.Levels {
+		for _, cap := range [2]float64{lv.Checkpoint.Cap, lv.Recovery.Cap} {
+			if cap > lo && cap < hi {
+				st.cand = append(st.cand, cap)
+			}
+		}
+	}
+
+	st.lanes = st.lanes[:0]
+	gPrev := st.gridG[0]
+	if math.IsNaN(gPrev) || math.IsInf(gPrev, -1) {
+		// The gradient blew up at the floor where the objective is
+		// infinite; the objective always falls away from N = 0, so treat
+		// the floor gradient as negative.
+		gPrev = -1
+	}
+	for k := 1; k <= scaleGridN; k++ {
+		gCur := st.gridG[k]
+		if gPrev < 0 && gCur >= 0 {
+			st.lanes = append(st.lanes, bisectBracket{
+				a: st.gridNs[k-1], b: st.gridNs[k],
+				fa: st.gridG[k-1], fb: st.gridG[k],
+			})
+		}
+		gPrev = gCur
+	}
+	if len(st.lanes) > 0 {
+		st.bisectBrackets()
+	}
+	for i := range st.lanes {
+		br := &st.lanes[i]
+		if br.skip {
+			continue
+		}
+		if br.failed {
+			return 0, fmt.Errorf("%w: scale bisection: %v", ErrDiverged, numopt.ErrMaxIterations)
+		}
+		rec.Count("core.bisect.calls", 1)
+		rec.Count("core.bisect.iters", int64(br.iters))
+		st.cand = append(st.cand, br.root)
+	}
+
+	st.pts.SetScales(st.cand)
+	st.ptV = growFloats(st.ptV, len(st.cand))
+	e := st.ptV[:len(st.cand)]
+	st.pts.WallClockFixedX(e, st.x, st.b)
+	best, bestE := st.cand[0], math.Inf(1)
+	for i, n := range st.cand {
+		if e[i] < bestE {
+			best, bestE = n, e[i]
+		}
+	}
+	return best, nil
+}
+
+// ensureGrid (re)builds the scan grid for [lo, hi]. The grid is a pure
+// function of the interval, so in the common case (ScaleFloor and the
+// ceiling fixed for the life of a solve) the cost/speedup slabs are filled
+// exactly once per optimization.
+func (st *innerState) ensureGrid(lo, hi float64) {
+	lb, hb := math.Float64bits(lo), math.Float64bits(hi)
+	if st.gridOK && lb == st.loBits && hb == st.hiBits {
+		return
+	}
+	st.loBits, st.hiBits, st.gridOK = lb, hb, true
+	st.gridNs[0] = lo
+	for k := 1; k <= scaleGridN; k++ {
+		st.gridNs[k] = lo + (hi-lo)*float64(k)/scaleGridN
+	}
+	st.grid.SetScales(st.gridNs)
+}
+
+// bisectBracket is one sign-change bracket advanced by the lockstep
+// bisection: the live interval [a, b] with f(a), f(b), and the terminal
+// state mirroring numopt.RootResult.
+type bisectBracket struct {
+	a, b, fa, fb float64
+	mid          float64
+	root, froot  float64
+	iters        int
+	done         bool
+	skip         bool // endpoints do not bracket a sign change
+	failed       bool // iteration cap exceeded
+}
+
+// bisectBrackets drives every bracket to termination in lockstep,
+// replicating numopt.Bisect exactly: the same early returns on exact-zero
+// endpoints, the same sign-bit interval updates, and the same stopping
+// rule — but with each round's midpoint gradients evaluated in one batched
+// kernel call across all still-active brackets.
+func (st *innerState) bisectBrackets() {
+	const (
+		tol     = 1e-4
+		maxIter = 200
+	)
+	active := 0
+	for i := range st.lanes {
+		br := &st.lanes[i]
+		//lint:allow floateq replicates numopt.Bisect's exact-zero endpoint early-returns bit for bit
+		switch {
+		case br.fa == 0:
+			br.root, br.froot, br.done = br.a, 0, true
+		case br.fb == 0:
+			br.root, br.froot, br.done = br.b, 0, true
+		case math.Signbit(br.fa) == math.Signbit(br.fb):
+			br.skip, br.done = true, true
+		default:
+			active++
+		}
+	}
+	st.ptNs = growFloats(st.ptNs, len(st.lanes))
+	st.ptV = growFloats(st.ptV, len(st.lanes))
+	for i := 0; i < maxIter && active > 0; i++ {
+		mids := st.ptNs[:0]
+		for li := range st.lanes {
+			br := &st.lanes[li]
+			if br.done {
+				continue
+			}
+			br.mid = br.a + (br.b-br.a)/2
+			mids = append(mids, br.mid)
+		}
+		st.pts.SetScales(mids)
+		fms := st.ptV[:len(mids)]
+		st.pts.GradNFixedX(fms, st.x, st.b)
+		j := 0
+		for li := range st.lanes {
+			br := &st.lanes[li]
+			if br.done {
+				continue
+			}
+			fm := fms[j]
+			j++
+			//lint:allow floateq replicates numopt.Bisect's exact-zero midpoint stop bit for bit
+			if fm == 0 || (br.b-br.a)/2 < tol {
+				br.root, br.froot, br.iters, br.done = br.mid, fm, i+1, true
+				active--
+				continue
+			}
+			if math.Signbit(fm) == math.Signbit(br.fa) {
+				br.a, br.fa = br.mid, fm
+			} else {
+				br.b = br.mid
+			}
+		}
+	}
+	for li := range st.lanes {
+		if br := &st.lanes[li]; !br.done {
+			br.failed, br.done = true, true
+		}
+	}
+}
+
+// solveScaleScalar is the original scalar scan, kept for the
+// finite-difference ablation (Options.NumericGradN) and as the reference
+// the batched solveScale is differentially tested against.
+func solveScaleScalar(p *model.Params, x, b []float64, opts Options, ceiling float64) (float64, error) {
 	rec := obs.OrNop(opts.Obs)
 	grad := func(n float64) float64 {
 		if opts.NumericGradN {
@@ -122,11 +404,6 @@ func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) 
 	}
 	lo := opts.ScaleFloor
 	hi := ceiling
-	// Candidate optima: the interval endpoints, every stationary point of
-	// the gradient, and any cost-saturation caps. A saturation kink can
-	// split the objective into two convex branches, each with its own
-	// stationary point, so a single bisection is not enough: scan a grid
-	// for every sign change and bisect each bracket, then take the argmin.
 	candidates := []float64{lo, hi}
 	for _, lv := range p.Levels {
 		for _, cap := range []float64{lv.Checkpoint.Cap, lv.Recovery.Cap} {
@@ -135,7 +412,6 @@ func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) 
 			}
 		}
 	}
-	const gridN = 64
 	prev := lo
 	gPrev := grad(lo)
 	if math.IsNaN(gPrev) || math.IsInf(gPrev, -1) {
@@ -144,8 +420,8 @@ func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) 
 		// N = 0, so treat the floor gradient as negative.
 		gPrev = -1
 	}
-	for k := 1; k <= gridN; k++ {
-		cur := lo + (hi-lo)*float64(k)/gridN
+	for k := 1; k <= scaleGridN; k++ {
+		cur := lo + (hi-lo)*float64(k)/scaleGridN
 		gCur := grad(cur)
 		if gPrev < 0 && gCur >= 0 {
 			// Bisection well below the fixed-point tolerance (the paper
@@ -174,8 +450,24 @@ func solveScale(p *model.Params, x, b []float64, opts Options, ceiling float64) 
 
 func muAt(b []float64, n float64) []float64 {
 	mu := make([]float64, len(b))
-	for i := range b {
-		mu[i] = b[i] * n
-	}
+	muInto(mu, b, n)
 	return mu
+}
+
+// muInto fills mu_i = b_i·N without allocating.
+//
+//mlckpt:hotpath
+func muInto(dst, b []float64, n float64) {
+	for i := range b {
+		dst[i] = b[i] * n
+	}
+}
+
+// growFloats returns buf with capacity for at least n elements, preserving
+// nothing (pure scratch).
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }

@@ -52,8 +52,21 @@ func (p Policy) OptimizesScale() bool { return p == MLOptScale || p == SLOptScal
 // policies internally collapse the problem with SingleLevelParams; the
 // returned Solution's X then has length 1 (the PFS level).
 func (p Policy) Solve(prm *model.Params, opts Options) (Solution, error) {
-	if err := prm.Validate(); err != nil {
+	prob, err := p.BatchProblem(prm, opts)
+	if err != nil {
 		return Solution{}, err
+	}
+	return Optimize(prob.Params, prob.Opts)
+}
+
+// BatchProblem maps (params, policy, options) onto the exact Optimize lane
+// that Solve would run — the single-level collapse, the scale pinning, and
+// the single-pass flag — so grid drivers can gather many policy cells into
+// one OptimizeBatch call. Solve is equivalent to Optimize on the returned
+// problem.
+func (p Policy) BatchProblem(prm *model.Params, opts Options) (Problem, error) {
+	if err := prm.Validate(); err != nil {
+		return Problem{}, err
 	}
 	work := prm
 	if !p.Multilevel() {
@@ -68,7 +81,7 @@ func (p Policy) Solve(prm *model.Params, opts Options) (Solution, error) {
 		// Classic Young's formula does not iterate the failure estimate.
 		opts.SinglePass = true
 	}
-	return Optimize(work, opts)
+	return Problem{Params: work, Opts: opts}, nil
 }
 
 // ExpandX maps a policy solution's interval counts onto the full L-level

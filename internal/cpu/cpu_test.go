@@ -1,0 +1,14 @@
+package cpu
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestFlagsConsistent(t *testing.T) {
+	// On non-amd64 hosts every flag must stay false (there is no detector).
+	if runtime.GOARCH != "amd64" && X86.HasAVX2 {
+		t.Fatalf("HasAVX2 = true on %s, want false", runtime.GOARCH)
+	}
+	t.Logf("GOARCH=%s HasAVX2=%v", runtime.GOARCH, X86.HasAVX2)
+}

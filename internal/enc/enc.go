@@ -1,0 +1,35 @@
+// Package enc is the bulk float64 wire codec shared by every
+// serialization path in the repository: heat snapshots and ghost rows,
+// and the mpisim float-payload messages. The wire format is little-endian
+// IEEE-754 float64 words. On amd64 (enc_amd64.go) both directions
+// degenerate to a single memmove because the wire format equals the
+// in-memory layout; the portable versions below spell the byte order out
+// and double as the differential oracle (TestCodecMatchesGeneric).
+package enc
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// PutFloat64sGeneric encodes src into dst (≥ 8·len(src) bytes) in wire
+// order, one word at a time.
+//
+//mlckpt:hotpath
+func PutFloat64sGeneric(dst []byte, src []float64) {
+	dst = dst[: 8*len(src) : 8*len(src)]
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// GetFloat64sGeneric decodes src (≥ 8·len(dst) bytes) into dst, one word
+// at a time.
+//
+//mlckpt:hotpath
+func GetFloat64sGeneric(dst []float64, src []byte) {
+	src = src[: 8*len(dst) : 8*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}

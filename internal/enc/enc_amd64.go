@@ -1,0 +1,29 @@
+package enc
+
+import "unsafe"
+
+// amd64 is little-endian, so the codec wire format is byte-for-byte the
+// in-memory layout of a []float64 and both directions reduce to one
+// memmove. The unsafe view is taken over the float64 slice (always
+// 8-aligned), never over the byte slice, so no alignment assumption is
+// made about caller buffers.
+
+// PutFloat64s encodes src into dst (≥ 8·len(src) bytes) in wire order.
+//
+//mlckpt:hotpath
+func PutFloat64s(dst []byte, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	copy(dst[:8*len(src)], unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 8*len(src)))
+}
+
+// GetFloat64s decodes src (≥ 8·len(dst) bytes) into dst.
+//
+//mlckpt:hotpath
+func GetFloat64s(dst []float64, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src[:8*len(dst)])
+}

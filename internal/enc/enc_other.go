@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package enc
+
+// Off amd64 the byte order of the host is unknown, so the codecs spell
+// the little-endian wire format out word by word.
+
+//mlckpt:hotpath
+func PutFloat64s(dst []byte, src []float64) {
+	PutFloat64sGeneric(dst, src)
+}
+
+//mlckpt:hotpath
+func GetFloat64s(dst []float64, src []byte) {
+	GetFloat64sGeneric(dst, src)
+}

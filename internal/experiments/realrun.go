@@ -81,6 +81,7 @@ type RealConfig struct {
 type segmentApp interface {
 	Iteration() int
 	Serialize() []byte
+	SerializeInto([]byte) []byte
 	Restore([]byte) error
 }
 
@@ -310,6 +311,10 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 			// re-crosses the same iterations, and an iteration-keyed abort
 			// would deterministically re-fire forever.
 			seq := 0
+			// One snapshot buffer per rank, circulating between the app and
+			// the cluster: CheckpointOwned takes the filled buffer and hands
+			// back a recycled one for the next round — no payload copy.
+			var snapBuf []byte
 			result := runSeg(func() bool {
 				if !crossed && s.Iteration() >= prevFurthest {
 					crossed = true
@@ -329,7 +334,7 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 					return false
 				}
 				if lvl := dueLevel(s.Iteration()); lvl > 0 {
-					data := s.Serialize()
+					data := s.SerializeInto(snapBuf)
 					ord := ckptSeqBase + seq
 					seq++
 					if r.ID() == 0 {
@@ -360,10 +365,11 @@ func RunReal(cfg RealConfig) (RealResult, error) {
 							return false
 						}
 					}
-					d, err := agent.Checkpoint(lvl, data)
+					recycled, d, err := agent.CheckpointOwned(lvl, data)
 					if err != nil {
 						panic(err)
 					}
+					snapBuf = recycled
 					if plan != nil && lvl == fti.Levels {
 						// Transient PFS write faults: the data is intact
 						// (the commit above is the eventual success); only

@@ -58,13 +58,19 @@ func Tab2Grid(scales []int, g Grid) (Tab2Result, error) {
 						panic(err)
 					}
 					agent := cluster.Attach(r)
+					// The snapshot buffer circulates between this rank and
+					// the cluster: CheckpointOwned takes the filled buffer
+					// and hands back a recycled one — no payload copy.
+					var snapBuf []byte
 					s.Run(func(s *heat.Solver) bool {
 						it := s.Iteration()
 						if it >= 1 && it <= fti.Levels {
-							d, err := agent.Checkpoint(it, s.Serialize())
+							filled := s.SerializeInto(snapBuf)
+							recycled, d, err := agent.CheckpointOwned(it, filled)
 							if err != nil {
 								panic(err)
 							}
+							snapBuf = recycled
 							if r.ID() == 0 {
 								durs[it-1] = d
 							}

@@ -141,6 +141,18 @@ func reuseSnapshot(old snapshot, v int, src []byte) snapshot {
 	return snapshot{version: v, data: b, sum: crc32.Checksum(b, crcTable)}
 }
 
+// stealSnapshot takes ownership of *src instead of copying it, handing the
+// slot's previous buffer back through *src for the donor to recycle. Only
+// legal when *src is consumed exactly once by the commit (levels 1 and 4,
+// and the last use of a level-2 payload): the donor — the pending scratch —
+// truncates its buffer before refilling it, so receiving a stale buffer of
+// the right capacity is exactly as good as keeping its own.
+func stealSnapshot(old snapshot, v int, src *[]byte) snapshot {
+	b := *src
+	*src = old.data
+	return snapshot{version: v, data: b, sum: crc32.Checksum(b, crcTable)}
+}
+
 // NewCluster creates a machine of `nodes` nodes (one rank per node).
 func NewCluster(nodes int, cfg Config) (*Cluster, error) {
 	if nodes <= 0 {
@@ -269,14 +281,29 @@ func (c *Cluster) Attach(r *mpisim.Rank) *Agent {
 
 // Checkpoint performs a collective checkpoint of each rank's data at the
 // given level (1–4) and returns the per-rank duration in virtual seconds.
-// All ranks must call it with the same level (SPMD).
+// All ranks must call it with the same level (SPMD). The payload is
+// copied before the call returns; the caller keeps its buffer.
 func (a *Agent) Checkpoint(level int, data []byte) (float64, error) {
+	_, dur, err := a.checkpoint(level, data, false)
+	return dur, err
+}
+
+// CheckpointOwned is Checkpoint for callers that hand the payload buffer
+// over instead of lending it: data is stored without the defensive copy,
+// and a recycled buffer (length 0, capacity from an earlier round — nil
+// on the first) is returned for the caller to build the next snapshot
+// in. The caller must not touch data after the call.
+func (a *Agent) CheckpointOwned(level int, data []byte) ([]byte, float64, error) {
+	return a.checkpoint(level, data, true)
+}
+
+func (a *Agent) checkpoint(level int, data []byte, owned bool) ([]byte, float64, error) {
 	if level < 1 || level > Levels {
-		return 0, fmt.Errorf("%w: level %d", ErrFTI, level)
+		return nil, 0, fmt.Errorf("%w: level %d", ErrFTI, level)
 	}
 	dur, err := a.c.cfg.Hierarchy.CheckpointTime(level, len(data), a.r.Size(), a.c.cfg.GroupSize)
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	a.r.Compute(dur)
 
@@ -293,9 +320,15 @@ func (a *Agent) Checkpoint(level int, data []byte) (float64, error) {
 	}
 	if a.c.pendingLevel != level {
 		a.c.mu.Unlock()
-		return 0, fmt.Errorf("%w: mismatched checkpoint levels (%d vs %d)", ErrFTI, level, a.c.pendingLevel)
+		return nil, 0, fmt.Errorf("%w: mismatched checkpoint levels (%d vs %d)", ErrFTI, level, a.c.pendingLevel)
 	}
-	a.c.pending[id] = append(a.c.pending[id][:0], data...)
+	var recycled []byte
+	if owned {
+		recycled = a.c.pending[id][:0]
+		a.c.pending[id] = data
+	} else {
+		a.c.pending[id] = append(a.c.pending[id][:0], data...)
+	}
 	if !a.c.pendingHave[id] {
 		a.c.pendingHave[id] = true
 		a.c.pendingN++
@@ -308,12 +341,12 @@ func (a *Agent) Checkpoint(level int, data []byte) (float64, error) {
 	}
 	a.c.mu.Unlock()
 	if commitErr != nil {
-		return 0, commitErr
+		return nil, 0, commitErr
 	}
 
 	// FTI synchronizes the application after a checkpoint.
 	a.r.Barrier()
-	return dur, nil
+	return recycled, dur, nil
 }
 
 // resetPendingLocked abandons or completes the in-flight collective: the
@@ -335,15 +368,16 @@ func rankData(data [][]byte, r int) []byte {
 }
 
 // commitLocked persists a complete collective checkpoint. data is indexed
-// by rank; the buffers belong to the pending scratch, so every snapshot
-// copies into its own (recycled) storage.
+// by rank; the buffers belong to the pending scratch, so a snapshot either
+// copies into its own (recycled) storage or — at a payload's last use —
+// swaps buffers with the scratch (stealSnapshot).
 func (c *Cluster) commitLocked(level int, data [][]byte) error {
 	c.version++
 	v := c.version
 	switch level {
 	case 1:
-		for rank, d := range data {
-			c.local[0][rank] = c.corruptLocked(1, rank, reuseSnapshot(c.local[0][rank], v, d))
+		for rank := range data {
+			c.local[0][rank] = c.corruptLocked(1, rank, stealSnapshot(c.local[0][rank], v, &data[rank]))
 		}
 	case 2:
 		for rank, d := range data {
@@ -351,7 +385,8 @@ func (c *Cluster) commitLocked(level int, data [][]byte) error {
 			p := c.PartnerOf(rank)
 			// The partner copy corrupts independently of the owner's own
 			// copy: its injection identity is the owner rank + node count.
-			c.partner[0][p] = c.corruptLocked(2, rank+c.nodes, reuseSnapshot(c.partner[0][p], v, d))
+			// This is the payload's last use, so it is stolen, not copied.
+			c.partner[0][p] = c.corruptLocked(2, rank+c.nodes, stealSnapshot(c.partner[0][p], v, &data[rank]))
 		}
 	case 3:
 		for rank, d := range data {
@@ -432,8 +467,8 @@ func (c *Cluster) commitLocked(level int, data [][]byte) error {
 			c.rsSums[g] = sums
 		}
 	case 4:
-		for rank, d := range data {
-			c.pfs[rank] = c.corruptLocked(4, rank, reuseSnapshot(c.pfs[rank], v, d))
+		for rank := range data {
+			c.pfs[rank] = c.corruptLocked(4, rank, stealSnapshot(c.pfs[rank], v, &data[rank]))
 		}
 	}
 	return nil

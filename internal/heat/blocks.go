@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"mlckpt/internal/enc"
 	"mlckpt/internal/mpisim"
 )
 
@@ -62,8 +63,10 @@ func NewBlockSolver(r *mpisim.Rank, cfg Config) (*BlockSolver, error) {
 	n := (s.rows() + 2) * (s.cols() + 2)
 	s.cur = make([]float64, n)
 	s.nxt = make([]float64, n)
-	for i := range s.cur {
-		s.cur[i] = cfg.EdgeTemp
+	if cfg.EdgeTemp != 0 {
+		for i := range s.cur {
+			s.cur[i] = cfg.EdgeTemp
+		}
 	}
 	if s.rowLo == 0 {
 		for c := 0; c < s.cols(); c++ {
@@ -114,9 +117,7 @@ func (s *BlockSolver) neighbor(dx, dy int) (int, bool) {
 
 func (s *BlockSolver) rowBytes(row int) []byte {
 	out := make([]byte, 8*s.cols())
-	for c := 0; c < s.cols(); c++ {
-		binary.LittleEndian.PutUint64(out[8*c:], math.Float64bits(s.cur[s.at(row, c)]))
-	}
+	enc.PutFloat64s(out, s.cur[s.at(row, 0):s.at(row, s.cols())])
 	return out
 }
 
@@ -181,20 +182,43 @@ func (s *BlockSolver) Step() {
 		g.set(g.req.Wait())
 	}
 
+	// Row-sliced stencil: the block's interior columns are the contiguous
+	// local span [lcLo, lcHi) (global columns 1..GridX−2), so each row is
+	// one kernel call plus fixed-wall copies — bit-identical to the
+	// cell-at-a-time loop (same per-cell arithmetic; residual max is
+	// order-independent over non-negative values).
+	lcLo, lcHi := 0, cols
+	if s.colLo == 0 {
+		lcLo = 1
+	}
+	if s.colHi == s.cfg.GridX {
+		lcHi = cols - 1
+	}
 	localMax := 0.0
 	for lr := 0; lr < rows; lr++ {
 		gRow := s.rowLo + lr
-		for lc := 0; lc < cols; lc++ {
-			gCol := s.colLo + lc
-			i := s.at(lr, lc)
-			if gRow == 0 || gRow == s.cfg.GridY-1 || gCol == 0 || gCol == s.cfg.GridX-1 {
-				s.nxt[i] = s.cur[i]
-				continue
-			}
-			v := 0.25 * (s.cur[i-stride] + s.cur[i+stride] + s.cur[i-1] + s.cur[i+1])
-			s.nxt[i] = v
-			if d := math.Abs(v - s.cur[i]); d > localMax {
-				localMax = d
+		base := s.at(lr, 0)
+		src := s.cur[base : base+cols]
+		dst := s.nxt[base : base+cols]
+		if gRow == 0 || gRow == s.cfg.GridY-1 {
+			copy(dst, src) // fixed boundary row
+			continue
+		}
+		for lc := 0; lc < lcLo; lc++ {
+			dst[lc] = src[lc] // global west wall
+		}
+		for lc := lcHi; lc < cols; lc++ {
+			dst[lc] = src[lc] // global east wall
+		}
+		if lcLo < lcHi {
+			// Left/right neighbors may be ghost-column cells, so they
+			// slice the full array rather than the owned row.
+			up := s.cur[base-stride+lcLo : base-stride+lcHi]
+			down := s.cur[base+stride+lcLo : base+stride+lcHi]
+			left := s.cur[base+lcLo-1 : base+lcHi-1]
+			right := s.cur[base+lcLo+1 : base+lcHi+1]
+			if m := stencilRow(dst[lcLo:lcHi], up, down, left, right, src[lcLo:lcHi]); m > localMax {
+				localMax = m
 			}
 		}
 	}
@@ -217,15 +241,24 @@ func (s *BlockSolver) Run(hook func(*BlockSolver) bool) RunResult {
 
 // Serialize captures the rank's block (iteration counter + interior).
 func (s *BlockSolver) Serialize() []byte {
+	return s.SerializeInto(nil)
+}
+
+// SerializeInto is Serialize into a caller-owned buffer (grown when too
+// small), so checkpoint loops can reuse one snapshot buffer per rank.
+func (s *BlockSolver) SerializeInto(buf []byte) []byte {
 	rows, cols := s.rows(), s.cols()
-	buf := make([]byte, 8+8*rows*cols)
+	n := 8 + 8*rows*cols
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	binary.LittleEndian.PutUint64(buf, uint64(s.iter))
-	k := 0
+	// Each owned row is contiguous (the ghost border has stride cols+2):
+	// one bulk encode per row.
 	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			binary.LittleEndian.PutUint64(buf[8+8*k:], math.Float64bits(s.cur[s.at(r, c)]))
-			k++
-		}
+		enc.PutFloat64s(buf[8+8*r*cols:], s.cur[s.at(r, 0):s.at(r, cols)])
 	}
 	return buf
 }
@@ -238,12 +271,8 @@ func (s *BlockSolver) Restore(data []byte) error {
 		return fmt.Errorf("%w: snapshot %d bytes, want %d", ErrHeat, len(data), want)
 	}
 	s.iter = int(binary.LittleEndian.Uint64(data))
-	k := 0
 	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			s.cur[s.at(r, c)] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*k:]))
-			k++
-		}
+		enc.GetFloat64s(s.cur[s.at(r, 0):s.at(r, cols)], data[8+8*r*cols:])
 	}
 	return nil
 }

@@ -17,8 +17,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 
+	"mlckpt/internal/enc"
 	"mlckpt/internal/mpisim"
 	"mlckpt/internal/obs"
 )
@@ -61,12 +61,11 @@ type Solver struct {
 	iter     int
 	residual float64
 
-	// Per-iteration scratch, reused so the exchange loop allocates
-	// nothing: one encoded-row buffer (free for reuse as soon as Send
-	// copies it), one receive buffer, and the one-element residual vector.
-	rowBuf  []byte
-	recvBuf []byte
-	resBuf  [1]float64
+	// Per-iteration scratch: the one-element residual vector for the
+	// Allreduce. The ghost exchange itself needs no solver-side buffers —
+	// SendFloats/RecvFloatsInto encode and decode directly between the
+	// grid and the runtime's pooled message buffers.
+	resBuf [1]float64
 }
 
 // NewSolver initializes the rank-local state: interior at EdgeTemp, top
@@ -84,8 +83,10 @@ func NewSolver(r *mpisim.Rank, cfg Config) (*Solver, error) {
 	n := (s.rows() + 2) * cfg.GridX
 	s.cur = make([]float64, n)
 	s.nxt = make([]float64, n)
-	for i := range s.cur {
-		s.cur[i] = cfg.EdgeTemp
+	if cfg.EdgeTemp != 0 {
+		for i := range s.cur {
+			s.cur[i] = cfg.EdgeTemp
+		}
 	}
 	// Top boundary (global row 0) is the heat source.
 	if s.rowLo == 0 {
@@ -139,42 +140,45 @@ func (s *Solver) Step() {
 	// --- Ghost-row exchange ---
 	// Same message flow and virtual-clock op order as the original
 	// Irecv/Isend/Waitall shape (sends are eager, so the clock sequence is
-	// Send↑, Send↓, Recv↑, Recv↓), but through buffer-reusing calls: Send
-	// copies the encoded row out immediately, so one scratch buffer serves
-	// both directions, and RecvInto recycles the runtime's message buffer.
-	if s.rowBuf == nil {
-		s.rowBuf = make([]byte, 8*gx)
-	}
+	// Send↑, Send↓, Recv↑, Recv↓), but through the float-payload calls:
+	// SendFloats encodes the boundary row straight into the runtime's
+	// pooled message buffer and RecvFloatsInto decodes straight into the
+	// ghost row — two memory passes per message instead of the four an
+	// encode/Send/RecvInto/decode chain costs, same bytes on the wire.
 	if s.rowLo > 0 {
-		r.Send(r.ID()-1, tagUp, encodeRowInto(s.rowBuf, s.cur[s.idx(0, 0):s.idx(0, gx)]))
+		r.SendFloats(r.ID()-1, tagUp, s.cur[s.idx(0, 0):s.idx(0, gx)])
 	}
 	if s.rowHi < s.cfg.GridY {
-		r.Send(r.ID()+1, tagDown, encodeRowInto(s.rowBuf, s.cur[s.idx(rows-1, 0):s.idx(rows-1, gx)]))
+		r.SendFloats(r.ID()+1, tagDown, s.cur[s.idx(rows-1, 0):s.idx(rows-1, gx)])
 	}
 	if s.rowLo > 0 {
-		s.recvBuf = r.RecvInto(r.ID()-1, tagDown, s.recvBuf)
-		decodeRowInto(s.cur[0:gx], s.recvBuf)
+		r.RecvFloatsInto(r.ID()-1, tagDown, s.cur[0:gx])
 	}
 	if s.rowHi < s.cfg.GridY {
-		s.recvBuf = r.RecvInto(r.ID()+1, tagUp, s.recvBuf)
-		decodeRowInto(s.cur[(rows+1)*gx:(rows+2)*gx], s.recvBuf)
+		r.RecvFloatsInto(r.ID()+1, tagUp, s.cur[(rows+1)*gx:(rows+2)*gx])
 	}
 
 	// --- Stencil update ---
+	// Row-sliced form of the per-cell loop: boundary handling hoisted out
+	// of the inner loop and the interior span handed to the stencilRow
+	// kernel. The update order and per-cell arithmetic are unchanged, and
+	// the residual is a max of non-negative values (order-independent), so
+	// the result is bit-identical to the cell-at-a-time original.
 	localMax := 0.0
 	for lr := 0; lr < rows; lr++ {
 		globalRow := s.rowLo + lr
-		for x := 0; x < gx; x++ {
-			i := s.idx(lr, x)
-			if globalRow == 0 || globalRow == s.cfg.GridY-1 || x == 0 || x == gx-1 {
-				s.nxt[i] = s.cur[i] // fixed boundary
-				continue
-			}
-			v := 0.25 * (s.cur[i-gx] + s.cur[i+gx] + s.cur[i-1] + s.cur[i+1])
-			s.nxt[i] = v
-			if d := math.Abs(v - s.cur[i]); d > localMax {
-				localMax = d
-			}
+		base := s.idx(lr, 0)
+		src := s.cur[base : base+gx]
+		dst := s.nxt[base : base+gx]
+		if globalRow == 0 || globalRow == s.cfg.GridY-1 {
+			copy(dst, src) // fixed boundary row
+			continue
+		}
+		dst[0], dst[gx-1] = src[0], src[gx-1] // fixed side walls
+		up := s.cur[base-gx : base]
+		down := s.cur[base+gx : base+2*gx]
+		if m := stencilRow(dst[1:gx-1], up[1:gx-1], down[1:gx-1], src[:gx-2], src[2:], src[1:gx-1]); m > localMax {
+			localMax = m
 		}
 	}
 	r.Compute(float64(rows*gx) * s.cfg.CellTime)
@@ -224,9 +228,9 @@ func (s *Solver) SerializeInto(buf []byte) []byte {
 		buf = buf[:n]
 	}
 	binary.LittleEndian.PutUint64(buf, uint64(s.iter))
-	for i := 0; i < rows*gx; i++ {
-		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(s.cur[gx+i]))
-	}
+	// The owned band is contiguous past the leading ghost row, so the
+	// whole payload is one bulk encode.
+	enc.PutFloat64s(buf[8:], s.cur[gx:gx+rows*gx])
 	return buf
 }
 
@@ -240,37 +244,8 @@ func (s *Solver) Restore(data []byte) error {
 		return fmt.Errorf("%w: snapshot %d bytes, want %d", ErrHeat, len(data), want)
 	}
 	s.iter = int(binary.LittleEndian.Uint64(data))
-	for i := 0; i < rows*gx; i++ {
-		s.cur[gx+i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
-	}
+	enc.GetFloat64s(s.cur[gx:gx+rows*gx], data[8:])
 	return nil
-}
-
-func encodeRow(row []float64) []byte {
-	return encodeRowInto(make([]byte, 8*len(row)), row)
-}
-
-// encodeRowInto packs a row into the caller's buffer (which must hold
-// 8·len(row) bytes) and returns the filled prefix.
-func encodeRowInto(out []byte, row []float64) []byte {
-	out = out[:8*len(row)]
-	for i, v := range row {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
-	}
-	return out
-}
-
-func decodeRow(b []byte) []float64 {
-	out := make([]float64, len(b)/8)
-	decodeRowInto(out, b)
-	return out
-}
-
-// decodeRowInto unpacks b into dst, which must hold len(b)/8 values.
-func decodeRowInto(dst []float64, b []byte) {
-	for i := range dst[:len(b)/8] {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
 }
 
 // SerialTime returns the failure-free single-core time of the full problem

@@ -1,0 +1,39 @@
+package heat
+
+import "math"
+
+// This file is the portable half of the stencil kernel layer. The Jacobi
+// update of both decompositions funnels through stencilRow, which the
+// amd64 build dispatches to an AVX2 kernel (stencil_amd64.s) and every
+// other build routes straight here. The two implementations are bit-
+// identical by construction: the vector kernel performs the exact same
+// left-associated operation sequence per cell —
+//
+//	v = 0.25 * (((up + down) + left) + right)
+//
+// — and the residual reduction only ever maxes non-negative absolute
+// differences, which makes the result independent of accumulation order
+// (see TestStencilRowMatchesGeneric). That bit-exactness is what keeps
+// the golden traces (TestHeatTraceByteStable) and the chaos-grid state
+// digests valid across the dispatch boundary.
+
+// stencilRowGeneric is the portable row kernel and the differential
+// oracle for the vector path: dst[i] = 0.25·(((up[i]+down[i])+left[i])+
+// right[i]), returning max_i |dst[i] − center[i]|. All six slices must
+// have at least len(dst) elements; dst must not alias the inputs.
+//
+//mlckpt:hotpath
+func stencilRowGeneric(dst, up, down, left, right, center []float64) float64 {
+	localMax := 0.0
+	n := len(dst)
+	up, down = up[:n], down[:n]
+	left, right, center = left[:n], right[:n], center[:n]
+	for i := range dst {
+		v := 0.25 * (((up[i] + down[i]) + left[i]) + right[i])
+		dst[i] = v
+		if d := math.Abs(v - center[i]); d > localMax {
+			localMax = d
+		}
+	}
+	return localMax
+}

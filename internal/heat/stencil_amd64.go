@@ -1,0 +1,34 @@
+package heat
+
+import "mlckpt/internal/cpu"
+
+// stencilAVX2 gates the vector kernel; tests flip it to cover both paths
+// on one host.
+var stencilAVX2 = cpu.X86.HasAVX2
+
+// stencilRowAVX2 is the 4-wide AVX2 row kernel (stencil_amd64.s). n must
+// be a multiple of 4; the pointers address at least n elements each.
+//
+//go:noescape
+func stencilRowAVX2(dst, up, down, left, right, center *float64, n int) float64
+
+// stencilRow dispatches one row's Jacobi update: the AVX2 kernel covers
+// the 4-aligned prefix and the generic kernel sweeps the tail. The two
+// halves combine through the same strict-greater max the scalar loop
+// uses, so the returned residual is bit-identical either way.
+//
+//mlckpt:hotpath
+func stencilRow(dst, up, down, left, right, center []float64) float64 {
+	n := len(dst)
+	if !stencilAVX2 || n < 4 {
+		return stencilRowGeneric(dst, up, down, left, right, center)
+	}
+	nv := n &^ 3
+	m := stencilRowAVX2(&dst[0], &up[0], &down[0], &left[0], &right[0], &center[0], nv)
+	if nv < n {
+		if t := stencilRowGeneric(dst[nv:], up[nv:n], down[nv:n], left[nv:n], right[nv:n], center[nv:n]); t > m {
+			m = t
+		}
+	}
+	return m
+}

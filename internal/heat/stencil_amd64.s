@@ -1,0 +1,96 @@
+#include "textflag.h"
+
+// The AVX2 Jacobi row kernel. Per lane it performs the exact operation
+// sequence of the scalar update —
+//
+//	v = 0.25 * (((up + down) + left) + right)
+//	d = |v - center|
+//
+// — with the same left-associated add chain (VADDPD's first source is
+// the running sum, matching Go's evaluation order), so the stored row is
+// bit-identical to the portable kernel.
+//
+// The residual accumulation exploits VMAXPD's asymmetric NaN rule: the
+// result is src1 > src2 ? src1 : src2, so a NaN in src1 loses the
+// compare and src2 (the accumulator) is kept — exactly the scalar
+// `if d > acc` which drops NaN differences. The accumulator itself can
+// therefore never become NaN, and since every accumulated value is an
+// absolute difference (non-negative, −0 normalized by VANDPD), the max
+// is order-independent and bit-exact for any accumulator count — which
+// licenses the two interleaved accumulators below (they break the
+// loop-carried VMAXPD latency chain) and the VMAXPD/VMAXSD horizontal
+// reduction at the end.
+
+DATA stencilQuarter<>+0(SB)/8, $0.25
+GLOBL stencilQuarter<>(SB), RODATA, $8
+
+DATA stencilAbsMask<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL stencilAbsMask<>(SB), RODATA, $8
+
+// func stencilRowAVX2(dst, up, down, left, right, center *float64, n int) float64
+TEXT ·stencilRowAVX2(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ up+8(FP), SI
+	MOVQ down+16(FP), DX
+	MOVQ left+24(FP), CX
+	MOVQ right+32(FP), R8
+	MOVQ center+40(FP), R9
+	MOVQ n+48(FP), R10
+
+	VXORPD       Y4, Y4, Y4                 // residual accumulator A
+	VXORPD       Y7, Y7, Y7                 // residual accumulator B
+	VBROADCASTSD stencilQuarter<>(SB), Y5
+	VBROADCASTSD stencilAbsMask<>(SB), Y6
+
+	XORQ AX, AX
+	MOVQ R10, R11
+	ANDQ $-8, R11                // 8-aligned prefix for the unrolled loop
+
+loop8:
+	CMPQ AX, R11
+	JGE  loop4
+	VMOVUPD (SI)(AX*8), Y0       // up
+	VMOVUPD 32(SI)(AX*8), Y2
+	VADDPD  (DX)(AX*8), Y0, Y0   // + down
+	VADDPD  32(DX)(AX*8), Y2, Y2
+	VADDPD  (CX)(AX*8), Y0, Y0   // + left
+	VADDPD  32(CX)(AX*8), Y2, Y2
+	VADDPD  (R8)(AX*8), Y0, Y0   // + right
+	VADDPD  32(R8)(AX*8), Y2, Y2
+	VMULPD  Y5, Y0, Y0           // × 0.25
+	VMULPD  Y5, Y2, Y2
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	VSUBPD  (R9)(AX*8), Y0, Y1   // v − center
+	VSUBPD  32(R9)(AX*8), Y2, Y3
+	VANDPD  Y6, Y1, Y1           // |d|
+	VANDPD  Y6, Y3, Y3
+	VMAXPD  Y4, Y1, Y4           // acc = d > acc ? d : acc (NaN d kept out)
+	VMAXPD  Y7, Y3, Y7
+	ADDQ    $8, AX
+	JMP     loop8
+
+loop4:
+	CMPQ AX, R10
+	JGE  done
+	VMOVUPD (SI)(AX*8), Y0
+	VADDPD  (DX)(AX*8), Y0, Y0
+	VADDPD  (CX)(AX*8), Y0, Y0
+	VADDPD  (R8)(AX*8), Y0, Y0
+	VMULPD  Y5, Y0, Y0
+	VMOVUPD Y0, (DI)(AX*8)
+	VSUBPD  (R9)(AX*8), Y0, Y1
+	VANDPD  Y6, Y1, Y1
+	VMAXPD  Y4, Y1, Y4
+	ADDQ    $4, AX
+	JMP     loop4
+
+done:
+	VMAXPD       Y7, Y4, Y4      // combine the two accumulators
+	VEXTRACTF128 $1, Y4, X1
+	VMAXPD       X1, X4, X4
+	VUNPCKHPD    X4, X4, X1
+	VMAXSD       X1, X4, X4
+	VZEROUPPER
+	MOVSD        X4, ret+56(FP)
+	RET

@@ -1,0 +1,18 @@
+package heat
+
+import "testing"
+
+// stencilDispatchToggles reports whether this host actually dispatches to
+// a vector kernel (so forcing the fallback is a meaningful comparison).
+func stencilDispatchToggles(t *testing.T) bool {
+	t.Helper()
+	return stencilAVX2
+}
+
+// setStencilAVX2 overrides the dispatch flag for one test.
+func setStencilAVX2(t *testing.T, v bool) {
+	t.Helper()
+	old := stencilAVX2
+	stencilAVX2 = v
+	t.Cleanup(func() { stencilAVX2 = old })
+}

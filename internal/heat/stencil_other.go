@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package heat
+
+// stencilRow has no vector kernel off amd64: every row goes through the
+// portable kernel.
+//
+//mlckpt:hotpath
+func stencilRow(dst, up, down, left, right, center []float64) float64 {
+	return stencilRowGeneric(dst, up, down, left, right, center)
+}

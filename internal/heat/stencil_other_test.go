@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package heat
+
+import "testing"
+
+func stencilDispatchToggles(t *testing.T) bool {
+	t.Helper()
+	return false
+}
+
+func setStencilAVX2(t *testing.T, v bool) {
+	t.Helper()
+}

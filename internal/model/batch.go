@@ -1,0 +1,579 @@
+package model
+
+import (
+	"math"
+
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// Slab is a structure-of-arrays evaluation workspace bound to one Params
+// value: it evaluates the model formulas across a whole grid of scales in
+// contiguous float64 slices instead of one scalar call per point.
+//
+// SetScales precomputes, per grid point, everything that depends only on
+// the scale — g(N), g'(N), the productive time T_e/g(N), and the per-level
+// checkpoint/recovery costs and their derivatives — with the speedup model
+// devirtualized once per fill instead of two interface calls per scalar
+// evaluation. The kernels then run branch-free passes over the slabs.
+//
+// Bit-exactness contract: every kernel performs, per point, the same
+// floating-point operations in the same order as the scalar method it
+// mirrors (WallClock, GradX, GradN, ExpectedRollback, MuOfN, YoungX), so
+// batch results are identical to the scalar oracle bit for bit — the
+// differential tests in batch_test.go and the solver golden outputs both
+// pin this. The scalar methods stay untouched as that oracle.
+//
+// Layout: per-level slabs are level-major with a fixed row stride equal to
+// the slab capacity, so row i of a quantity q is q[i*cap : i*cap+P] for the
+// current point count P. Kernel arguments that carry an (x, mu) pair per
+// point use the same layout. A Slab is not safe for concurrent use.
+type Slab struct {
+	p *Params
+	L int
+
+	pn   int // current point count P
+	capn int // row stride / allocated points per row
+
+	n, g, gp, pt []float64 // per-point scale, speedup, g', productive time
+	c, cp, r, rp []float64 // level-major L×cap cost slabs (C, C', R, R')
+
+	roll, accA, accB []float64 // kernel scratch rows
+}
+
+// NewSlab returns a Slab bound to p with initial capacity for the given
+// number of grid points. The capacity grows automatically on SetScales.
+func (p *Params) NewSlab(capacity int) *Slab {
+	s := &Slab{p: p, L: p.L()}
+	if capacity < 1 {
+		capacity = 1
+	}
+	s.grow(capacity)
+	return s
+}
+
+// Len returns the number of points loaded by the last SetScales.
+func (s *Slab) Len() int { return s.pn }
+
+// Params returns the bound parameter set.
+func (s *Slab) Params() *Params { return s.p }
+
+func (s *Slab) grow(capacity int) {
+	if capacity <= s.capn {
+		return
+	}
+	if c := 2 * s.capn; capacity < c {
+		capacity = c
+	}
+	s.capn = capacity
+	s.n = make([]float64, capacity)
+	s.g = make([]float64, capacity)
+	s.gp = make([]float64, capacity)
+	s.pt = make([]float64, capacity)
+	s.c = make([]float64, s.L*capacity)
+	s.cp = make([]float64, s.L*capacity)
+	s.r = make([]float64, s.L*capacity)
+	s.rp = make([]float64, s.L*capacity)
+	s.roll = make([]float64, capacity)
+	s.accA = make([]float64, capacity)
+	s.accB = make([]float64, capacity)
+}
+
+// row returns level i of a level-major slab, trimmed to the current point
+// count.
+func (s *Slab) row(buf []float64, i int) []float64 {
+	return buf[i*s.capn : i*s.capn+s.pn]
+}
+
+// Row returns level i of a caller-provided level-major slab laid out with
+// this Slab's stride (use Stride to build one).
+func (s *Slab) Row(buf []float64, i int) []float64 { return s.row(buf, i) }
+
+// Stride returns the row stride for level-major kernel arguments: a slab
+// holding one value per (level, point) must have length L*Stride().
+func (s *Slab) Stride() int { return s.capn }
+
+// SetScales loads a grid of scales and precomputes the per-point slabs.
+// Growth allocates; steady-state refills with an unchanged capacity do not.
+func (s *Slab) SetScales(ns []float64) {
+	s.grow(len(ns))
+	s.pn = len(ns)
+	n := s.n[:s.pn]
+	copy(n, ns)
+
+	g := s.g[:s.pn]
+	gp := s.gp[:s.pn]
+	// Devirtualize the speedup model once per fill: the concrete methods
+	// compute exactly what the interface calls would, so the slabs match
+	// the scalar path bit for bit.
+	switch m := s.p.Speedup.(type) {
+	case speedup.Quadratic:
+		for p, v := range n {
+			g[p] = m.Speedup(v)
+			gp[p] = m.Derivative(v)
+		}
+	case speedup.Linear:
+		for p, v := range n {
+			g[p] = m.Speedup(v)
+			gp[p] = m.Derivative(v)
+		}
+	case speedup.Amdahl:
+		for p, v := range n {
+			g[p] = m.Speedup(v)
+			gp[p] = m.Derivative(v)
+		}
+	case speedup.Gustafson:
+		for p, v := range n {
+			g[p] = m.Speedup(v)
+			gp[p] = m.Derivative(v)
+		}
+	default:
+		for p, v := range n {
+			g[p] = m.Speedup(v)
+			gp[p] = m.Derivative(v)
+		}
+	}
+	pt := s.pt[:s.pn]
+	te := s.p.Te
+	for p, gv := range g {
+		// speedup.ParallelTime: non-positive speedup means no progress.
+		if gv <= 0 {
+			pt[p] = math.Inf(1)
+		} else {
+			pt[p] = te / gv
+		}
+	}
+	for i := 0; i < s.L; i++ {
+		lv := &s.p.Levels[i]
+		fillCostAt(s.row(s.c, i), lv.Checkpoint, n)
+		fillCostDerivativeAt(s.row(s.cp, i), lv.Checkpoint, n)
+		fillCostAt(s.row(s.r, i), lv.Recovery, n)
+		fillCostDerivativeAt(s.row(s.rp, i), lv.Recovery, n)
+	}
+}
+
+// fillCostAt evaluates overhead.Cost.At across a slice of scales with the
+// baseline switch hoisted out of the loop. Each branch performs the exact
+// arithmetic of Cost.At for that baseline.
+func fillCostAt(dst []float64, c overhead.Cost, ns []float64) {
+	switch c.H {
+	case overhead.Zero:
+		v := c.Const + c.Coeff*0
+		for p := range dst {
+			dst[p] = v
+		}
+	case overhead.LinearN:
+		for p, n := range ns {
+			if c.Cap > 0 && n > c.Cap {
+				n = c.Cap
+			}
+			dst[p] = c.Const + c.Coeff*n
+		}
+	case overhead.SqrtN:
+		for p, n := range ns {
+			if c.Cap > 0 && n > c.Cap {
+				n = c.Cap
+			}
+			dst[p] = c.Const + c.Coeff*math.Sqrt(math.Max(n, 0))
+		}
+	case overhead.LogN:
+		for p, n := range ns {
+			if c.Cap > 0 && n > c.Cap {
+				n = c.Cap
+			}
+			dst[p] = c.Const + c.Coeff*math.Log1p(math.Max(n, 0))
+		}
+	default:
+		for p, n := range ns {
+			dst[p] = c.At(n)
+		}
+	}
+}
+
+// fillCostDerivativeAt is fillCostAt for overhead.Cost.DerivativeAt.
+func fillCostDerivativeAt(dst []float64, c overhead.Cost, ns []float64) {
+	switch c.H {
+	case overhead.Zero:
+		v := c.Coeff * 0
+		for p, n := range ns {
+			if c.Cap > 0 && n > c.Cap {
+				dst[p] = 0
+			} else {
+				dst[p] = v
+			}
+		}
+	case overhead.LinearN:
+		for p, n := range ns {
+			if c.Cap > 0 && n > c.Cap {
+				dst[p] = 0
+			} else {
+				dst[p] = c.Coeff * 1
+			}
+		}
+	default:
+		for p, n := range ns {
+			dst[p] = c.DerivativeAt(n)
+		}
+	}
+}
+
+// ProductiveTimes returns the precomputed T_e/g(N) row (aliased, valid
+// until the next SetScales).
+func (s *Slab) ProductiveTimes() []float64 { return s.pt[:s.pn] }
+
+// CheckpointCosts returns the precomputed C_i(N) row for level i (aliased).
+func (s *Slab) CheckpointCosts(i int) []float64 { return s.row(s.c, i) }
+
+// MuOfN fills the level-major dst with μ_i(N_p) = λ_i(N_p)·T for the frozen
+// wall-clock estimate T, mirroring Params.MuOfN per point.
+//
+//mlckpt:hotpath
+func (s *Slab) MuOfN(dst []float64, wallClockSec float64) {
+	s.checkSlab(dst, "MuOfN dst")
+	rates := s.p.Rates
+	for i := 0; i < s.L; i++ {
+		row := s.row(dst, i)
+		n := s.n[:s.pn]
+		for p, v := range n {
+			row[p] = rates.ExpectedFailures(i, v, wallClockSec)
+		}
+	}
+}
+
+// ExpectedRollback fills dst with E(Γ_ij) (Formula 18) at level i for the
+// level-major interval counts xs, mirroring Params.ExpectedRollback.
+//
+//mlckpt:hotpath
+func (s *Slab) ExpectedRollback(dst, xs []float64, i int) {
+	s.checkRow(dst, "ExpectedRollback dst")
+	s.checkSlab(xs, "ExpectedRollback xs")
+	pt := s.pt[:s.pn]
+	xi := s.row(xs, i)
+	for p := range dst {
+		dst[p] = pt[p] / (2 * xi[p])
+	}
+	for k := 0; k <= i; k++ {
+		ck := s.row(s.c, k)
+		xk := s.row(xs, k)
+		for p := range dst {
+			dst[p] += ck[p] * xk[p] / (2 * xi[p])
+		}
+	}
+}
+
+// WallClock fills dst with E(T_w) (Formula 21) at the level-major interval
+// counts xs and frozen failure counts mus, mirroring Params.WallClock.
+//
+//mlckpt:hotpath
+func (s *Slab) WallClock(dst, xs, mus []float64) {
+	s.checkRow(dst, "WallClock dst")
+	s.checkSlab(xs, "WallClock xs")
+	s.checkSlab(mus, "WallClock mus")
+	copy(dst, s.pt[:s.pn])
+	for i := 0; i < s.L; i++ {
+		ci := s.row(s.c, i)
+		xi := s.row(xs, i)
+		for p := range dst {
+			dst[p] += ci[p] * (xi[p] - 1)
+		}
+	}
+	alloc := s.p.Alloc
+	roll := s.roll[:s.pn]
+	for i := 0; i < s.L; i++ {
+		s.ExpectedRollback(roll, xs, i)
+		mi := s.row(mus, i)
+		ri := s.row(s.r, i)
+		for p := range dst {
+			dst[p] += mi[p] * (roll[p] + alloc + ri[p])
+		}
+	}
+}
+
+// GradX fills dst with ∂E(T_w)/∂x_i (Formula 23) at the level-major xs and
+// mus, mirroring Params.GradX.
+//
+//mlckpt:hotpath
+func (s *Slab) GradX(dst, xs, mus []float64, i int) {
+	s.checkRow(dst, "GradX dst")
+	s.checkSlab(xs, "GradX xs")
+	s.checkSlab(mus, "GradX mus")
+	inner := s.accA[:s.pn]
+	copy(inner, s.pt[:s.pn])
+	for j := 0; j < i; j++ {
+		cj := s.row(s.c, j)
+		xj := s.row(xs, j)
+		for p := range inner {
+			inner[p] += cj[p] * xj[p]
+		}
+	}
+	ci := s.row(s.c, i)
+	xi := s.row(xs, i)
+	mi := s.row(mus, i)
+	for p := range dst {
+		dst[p] = ci[p] - mi[p]/(2*xi[p]*xi[p])*inner[p]
+	}
+	higher := s.accB[:s.pn]
+	for p := range higher {
+		higher[p] = 0
+	}
+	for j := i + 1; j < s.L; j++ {
+		mj := s.row(mus, j)
+		xj := s.row(xs, j)
+		for p := range higher {
+			higher[p] += mj[p] / xj[p]
+		}
+	}
+	for p := range dst {
+		dst[p] += ci[p] / 2 * higher[p]
+	}
+}
+
+// YoungX fills dst with the Young initialization (Formula 25) for level i
+// at the level-major mus, mirroring Params.YoungX.
+//
+//mlckpt:hotpath
+func (s *Slab) YoungX(dst, mus []float64, i int) {
+	s.checkRow(dst, "YoungX dst")
+	s.checkSlab(mus, "YoungX mus")
+	ci := s.row(s.c, i)
+	mi := s.row(mus, i)
+	pt := s.pt[:s.pn]
+	for p := range dst {
+		c := ci[p]
+		if c <= 0 {
+			dst[p] = 1
+			continue
+		}
+		x := math.Sqrt(mi[p] * pt[p] / (2 * c))
+		if x < 1 || math.IsNaN(x) {
+			x = 1
+		}
+		dst[p] = x
+	}
+}
+
+// GradN fills dst with ∂E(T_w)/∂N (Formula 24) at the level-major xs and
+// per-level linear failure coefficients bs (also level-major: b may vary
+// per point), mirroring Params.GradN.
+//
+//mlckpt:hotpath
+func (s *Slab) GradN(dst, xs, bs []float64) {
+	s.checkRow(dst, "GradN dst")
+	s.checkSlab(xs, "GradN xs")
+	s.checkSlab(bs, "GradN bs")
+	s.gradN(dst, func(i int) []float64 { return s.row(xs, i) }, func(i int) []float64 { return s.row(bs, i) })
+}
+
+// GradNFixedX fills dst with ∂E(T_w)/∂N at a single interval vector x and
+// coefficient vector b (both of length L) shared by every point — the shape
+// the inner solver's scale search evaluates: one (x, b) iterate against a
+// whole grid of candidate scales. Bit-identical to calling Params.GradN per
+// point.
+//
+//mlckpt:hotpath
+func (s *Slab) GradNFixedX(dst, x, b []float64) {
+	s.checkRow(dst, "GradNFixedX dst")
+	s.checkVec(x, "GradNFixedX x")
+	s.checkVec(b, "GradNFixedX b")
+	n := s.n[:s.pn]
+	g := s.g[:s.pn]
+	gp := s.gp[:s.pn]
+	te := s.p.Te
+	alloc := s.p.Alloc
+
+	// sumBp is scale-independent for a fixed (x, b); sumMu accumulates per
+	// point in the same level order as the scalar loop.
+	sumBp := 0.0
+	sumMu := s.accA[:s.pn]
+	for p := range sumMu {
+		sumMu[p] = 0
+	}
+	for i := 0; i < s.L; i++ {
+		sumBp += b[i] / (2 * x[i])
+		bi, xi2 := b[i], 2*x[i]
+		for p := range sumMu {
+			sumMu[p] += bi * n[p] / xi2
+		}
+	}
+	for p := range dst {
+		dst[p] = te / (g[p] * g[p]) * (sumBp*g[p] - (1+sumMu[p])*gp[p])
+	}
+	for i := 0; i < s.L; i++ {
+		cpi := s.row(s.cp, i)
+		xi := x[i]
+		for p := range dst {
+			dst[p] += cpi[p] * (xi - 1)
+		}
+	}
+	sumCk := s.accA[:s.pn]
+	sumCkPrime := s.accB[:s.pn]
+	for i := 0; i < s.L; i++ {
+		for p := range sumCk {
+			sumCk[p] = 0
+			sumCkPrime[p] = 0
+		}
+		for k := 0; k <= i; k++ {
+			ck := s.row(s.c, k)
+			cpk := s.row(s.cp, k)
+			xk, xi2 := x[k], 2*x[i]
+			for p := range sumCk {
+				sumCk[p] += ck[p] * xk / xi2
+				sumCkPrime[p] += cpk[p] * xk / xi2
+			}
+		}
+		ri := s.row(s.r, i)
+		rpi := s.row(s.rp, i)
+		bi := b[i]
+		for p := range dst {
+			dst[p] += bi * (sumCk[p] + alloc + ri[p])
+			dst[p] += bi * n[p] * (sumCkPrime[p] + rpi[p])
+		}
+	}
+}
+
+// WallClockFixedX fills dst with E(T_w) at a single interval vector x and
+// coefficient vector b shared by every point, with μ_i = b_i·N_p — the
+// argmin evaluation of the scale search. Bit-identical to
+// Params.WallClock(x, n, mu) with mu[i] = b[i]*n per point.
+//
+//mlckpt:hotpath
+func (s *Slab) WallClockFixedX(dst, x, b []float64) {
+	s.checkRow(dst, "WallClockFixedX dst")
+	s.checkVec(x, "WallClockFixedX x")
+	s.checkVec(b, "WallClockFixedX b")
+	n := s.n[:s.pn]
+	alloc := s.p.Alloc
+	copy(dst, s.pt[:s.pn])
+	for i := 0; i < s.L; i++ {
+		ci := s.row(s.c, i)
+		xi := x[i]
+		for p := range dst {
+			dst[p] += ci[p] * (xi - 1)
+		}
+	}
+	roll := s.roll[:s.pn]
+	pt := s.pt[:s.pn]
+	for i := 0; i < s.L; i++ {
+		xi2 := 2 * x[i]
+		for p := range roll {
+			roll[p] = pt[p] / xi2
+		}
+		for k := 0; k <= i; k++ {
+			ck := s.row(s.c, k)
+			xk := x[k]
+			for p := range roll {
+				roll[p] += ck[p] * xk / xi2
+			}
+		}
+		ri := s.row(s.r, i)
+		bi := b[i]
+		for p := range dst {
+			dst[p] += bi * n[p] * (roll[p] + alloc + ri[p])
+		}
+	}
+}
+
+// gradN is the shared Formula 24 pass over per-level row accessors.
+func (s *Slab) gradN(dst []float64, xRow, bRow func(int) []float64) {
+	n := s.n[:s.pn]
+	g := s.g[:s.pn]
+	gp := s.gp[:s.pn]
+	te := s.p.Te
+	alloc := s.p.Alloc
+
+	sumBp := s.roll[:s.pn]
+	sumMu := s.accA[:s.pn]
+	for p := range sumBp {
+		sumBp[p] = 0
+		sumMu[p] = 0
+	}
+	for i := 0; i < s.L; i++ {
+		bi := bRow(i)
+		xi := xRow(i)
+		for p := range sumBp {
+			sumBp[p] += bi[p] / (2 * xi[p])
+			sumMu[p] += bi[p] * n[p] / (2 * xi[p])
+		}
+	}
+	for p := range dst {
+		dst[p] = te / (g[p] * g[p]) * (sumBp[p]*g[p] - (1+sumMu[p])*gp[p])
+	}
+	for i := 0; i < s.L; i++ {
+		cpi := s.row(s.cp, i)
+		xi := xRow(i)
+		for p := range dst {
+			dst[p] += cpi[p] * (xi[p] - 1)
+		}
+	}
+	sumCk := s.accA[:s.pn]
+	sumCkPrime := s.accB[:s.pn]
+	for i := 0; i < s.L; i++ {
+		xi := xRow(i)
+		for p := range sumCk {
+			sumCk[p] = 0
+			sumCkPrime[p] = 0
+		}
+		for k := 0; k <= i; k++ {
+			ck := s.row(s.c, k)
+			cpk := s.row(s.cp, k)
+			xk := xRow(k)
+			for p := range sumCk {
+				sumCk[p] += ck[p] * xk[p] / (2 * xi[p])
+				sumCkPrime[p] += cpk[p] * xk[p] / (2 * xi[p])
+			}
+		}
+		ri := s.row(s.r, i)
+		rpi := s.row(s.rp, i)
+		bi := bRow(i)
+		for p := range dst {
+			dst[p] += bi[p] * (sumCk[p] + alloc + ri[p])
+			dst[p] += bi[p] * n[p] * (sumCkPrime[p] + rpi[p])
+		}
+	}
+}
+
+// The argument checks run once per kernel call (never per point) and are
+// outlined so their panic-message concatenation stays out of the compiled
+// bodies of the //mlckpt:hotpath kernels — allocgate verifies those stay
+// escape-free.
+//
+//go:noinline
+func (s *Slab) checkRow(buf []float64, what string) {
+	if len(buf) != s.pn {
+		panic("model: " + what + " length does not match Slab point count")
+	}
+}
+
+//go:noinline
+func (s *Slab) checkVec(buf []float64, what string) {
+	if len(buf) != s.L {
+		panic("model: " + what + " length does not match level count")
+	}
+}
+
+//go:noinline
+func (s *Slab) checkSlab(buf []float64, what string) {
+	if len(buf) < s.L*s.capn {
+		panic("model: " + what + " shorter than L×Stride")
+	}
+}
+
+// MuOfNInto is the allocation-free Params.MuOfN: it fills dst (length L)
+// with μ_i(N) = λ_i(N)·T.
+//
+//mlckpt:hotpath
+func (p *Params) MuOfNInto(dst []float64, n, wallClockSec float64) {
+	for i := range dst {
+		dst[i] = p.Rates.ExpectedFailures(i, n, wallClockSec)
+	}
+}
+
+// BOfTInto is the allocation-free Params.BOfT: it fills dst (length L) with
+// b_i = λ_i(1)·T.
+//
+//mlckpt:hotpath
+func (p *Params) BOfTInto(dst []float64, wallClockSec float64) {
+	for i := range dst {
+		dst[i] = p.Rates.PerSecondAt(i, 1) * wallClockSec
+	}
+}

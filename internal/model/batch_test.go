@@ -1,0 +1,333 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlckpt/internal/failure"
+	"mlckpt/internal/overhead"
+	"mlckpt/internal/speedup"
+)
+
+// randParams draws a structurally valid Params with randomized speedup
+// kind, cost baselines, saturation caps, and failure rates — wide enough to
+// exercise every branch of the slab fill.
+func randParams(rng *rand.Rand) *Params {
+	L := 1 + rng.Intn(5)
+	levels := make([]overhead.Level, L)
+	baselines := []overhead.Baseline{overhead.Zero, overhead.LinearN, overhead.SqrtN, overhead.LogN}
+	randCost := func() overhead.Cost {
+		c := overhead.Cost{
+			Const: rng.Float64() * 10,
+			Coeff: rng.Float64() * 0.05,
+			H:     baselines[rng.Intn(len(baselines))],
+		}
+		if rng.Intn(3) == 0 {
+			c.Cap = 1e3 + rng.Float64()*1e5
+		}
+		return c
+	}
+	for i := range levels {
+		levels[i] = overhead.Level{Checkpoint: randCost(), Recovery: randCost()}
+	}
+	var g speedup.Model
+	switch rng.Intn(4) {
+	case 0:
+		g = speedup.Quadratic{Kappa: 0.1 + rng.Float64(), NStar: 1e4 + rng.Float64()*1e6}
+	case 1:
+		g = speedup.Linear{Kappa: 0.1 + rng.Float64(), MaxScale: 1e4 + rng.Float64()*1e6}
+	case 2:
+		g = speedup.Amdahl{SerialFraction: rng.Float64() * 1e-4, MaxScale: 1e4 + rng.Float64()*1e6}
+	default:
+		g = speedup.Gustafson{SerialFraction: rng.Float64() * 0.5, MaxScale: 1e4 + rng.Float64()*1e6}
+	}
+	perDay := make([]float64, L)
+	for i := range perDay {
+		perDay[i] = rng.Float64() * 20
+	}
+	return &Params{
+		Te:      (1 + rng.Float64()*9e5) * failure.SecondsPerDay,
+		Speedup: g,
+		Levels:  levels,
+		Alloc:   rng.Float64() * 120,
+		Rates:   failure.Rates{PerDay: perDay, Baseline: 1e6},
+	}
+}
+
+// randGrid draws scales across the whole plausible range, including the
+// degenerate edges the scalar path special-cases (0, beyond the ideal
+// scale, saturation caps).
+func randGrid(rng *rand.Rand, p *Params, pts int) []float64 {
+	ns := make([]float64, pts)
+	ceiling := p.Speedup.IdealScale()
+	for i := range ns {
+		switch rng.Intn(8) {
+		case 0:
+			ns[i] = 0
+		case 1:
+			ns[i] = ceiling
+		case 2:
+			ns[i] = ceiling * (1 + rng.Float64()) // beyond the peak: g may go <= 0
+		default:
+			ns[i] = 1 + rng.Float64()*ceiling
+		}
+	}
+	return ns
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestSlabMatchesScalarBitExact is the oracle contract: every batch kernel
+// must reproduce its scalar counterpart bit for bit on randomized params,
+// grids, and iterates.
+func TestSlabMatchesScalarBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := randParams(rng)
+		L := p.L()
+		pts := 1 + rng.Intn(97)
+		ns := randGrid(rng, p, pts)
+		s := p.NewSlab(pts)
+		s.SetScales(ns)
+		stride := s.Stride()
+
+		xs := make([]float64, L*stride)
+		mus := make([]float64, L*stride)
+		bs := make([]float64, L*stride)
+		for i := 0; i < L; i++ {
+			for pt := 0; pt < pts; pt++ {
+				xs[i*stride+pt] = 1 + rng.Float64()*200
+				mus[i*stride+pt] = rng.Float64() * 50
+				bs[i*stride+pt] = rng.Float64() * 1e-3
+			}
+		}
+		dst := make([]float64, pts)
+		x1 := make([]float64, L)
+		mu1 := make([]float64, L)
+		b1 := make([]float64, L)
+		readPoint := func(pt int) {
+			for i := 0; i < L; i++ {
+				x1[i] = xs[i*stride+pt]
+				mu1[i] = mus[i*stride+pt]
+				b1[i] = bs[i*stride+pt]
+			}
+		}
+
+		s.WallClock(dst, xs, mus)
+		for pt := 0; pt < pts; pt++ {
+			readPoint(pt)
+			if want := p.WallClock(x1, ns[pt], mu1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("trial %d WallClock[%d]: batch %v scalar %v (n=%v)", trial, pt, dst[pt], want, ns[pt])
+			}
+		}
+		s.GradN(dst, xs, bs)
+		for pt := 0; pt < pts; pt++ {
+			readPoint(pt)
+			if want := p.GradN(x1, ns[pt], b1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("trial %d GradN[%d]: batch %v scalar %v (n=%v)", trial, pt, dst[pt], want, ns[pt])
+			}
+		}
+		for i := 0; i < L; i++ {
+			s.GradX(dst, xs, mus, i)
+			for pt := 0; pt < pts; pt++ {
+				readPoint(pt)
+				if want := p.GradX(x1, ns[pt], mu1, i); !bitsEqual(dst[pt], want) {
+					t.Fatalf("trial %d GradX[%d][%d]: batch %v scalar %v", trial, i, pt, dst[pt], want)
+				}
+			}
+			s.ExpectedRollback(dst, xs, i)
+			for pt := 0; pt < pts; pt++ {
+				readPoint(pt)
+				if want := p.ExpectedRollback(x1, ns[pt], i); !bitsEqual(dst[pt], want) {
+					t.Fatalf("trial %d ExpectedRollback[%d][%d]: batch %v scalar %v", trial, i, pt, dst[pt], want)
+				}
+			}
+			s.YoungX(dst, mus, i)
+			for pt := 0; pt < pts; pt++ {
+				readPoint(pt)
+				if want := p.YoungX(ns[pt], mu1, i); !bitsEqual(dst[pt], want) {
+					t.Fatalf("trial %d YoungX[%d][%d]: batch %v scalar %v", trial, i, pt, dst[pt], want)
+				}
+			}
+		}
+
+		wct := 1 + rng.Float64()*1e7
+		muSlab := make([]float64, L*stride)
+		s.MuOfN(muSlab, wct)
+		for pt := 0; pt < pts; pt++ {
+			want := p.MuOfN(ns[pt], wct)
+			for i := 0; i < L; i++ {
+				if !bitsEqual(muSlab[i*stride+pt], want[i]) {
+					t.Fatalf("trial %d MuOfN[%d][%d]: batch %v scalar %v", trial, i, pt, muSlab[i*stride+pt], want[i])
+				}
+			}
+		}
+
+		// Fixed-x kernels: one iterate against the whole scale grid.
+		readPoint(0)
+		s.GradNFixedX(dst, x1, b1)
+		for pt := 0; pt < pts; pt++ {
+			if want := p.GradN(x1, ns[pt], b1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("trial %d GradNFixedX[%d]: batch %v scalar %v (n=%v)", trial, pt, dst[pt], want, ns[pt])
+			}
+		}
+		s.WallClockFixedX(dst, x1, b1)
+		for pt := 0; pt < pts; pt++ {
+			for i := 0; i < L; i++ {
+				mu1[i] = b1[i] * ns[pt]
+			}
+			if want := p.WallClock(x1, ns[pt], mu1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("trial %d WallClockFixedX[%d]: batch %v scalar %v (n=%v)", trial, pt, dst[pt], want, ns[pt])
+			}
+		}
+	}
+}
+
+// TestIntoVariantsMatch pins the allocation-free scalar helpers against the
+// allocating originals.
+func TestIntoVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		p := randParams(rng)
+		n := rng.Float64() * 2e6
+		wct := rng.Float64() * 1e7
+		dst := make([]float64, p.L())
+		p.MuOfNInto(dst, n, wct)
+		for i, want := range p.MuOfN(n, wct) {
+			if !bitsEqual(dst[i], want) {
+				t.Fatalf("MuOfNInto[%d] = %v, want %v", i, dst[i], want)
+			}
+		}
+		p.BOfTInto(dst, wct)
+		for i, want := range p.BOfT(wct) {
+			if !bitsEqual(dst[i], want) {
+				t.Fatalf("BOfTInto[%d] = %v, want %v", i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestSlabReuse verifies that shrinking and regrowing a slab between
+// SetScales calls keeps results correct (rows are re-strided on growth).
+func TestSlabReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randParams(rng)
+	s := p.NewSlab(4)
+	for _, pts := range []int{4, 2, 64, 1, 33} {
+		ns := randGrid(rng, p, pts)
+		s.SetScales(ns)
+		if s.Len() != pts {
+			t.Fatalf("Len = %d, want %d", s.Len(), pts)
+		}
+		dst := make([]float64, pts)
+		x1 := make([]float64, p.L())
+		b1 := make([]float64, p.L())
+		for i := range x1 {
+			x1[i] = 1 + rng.Float64()*50
+			b1[i] = rng.Float64() * 1e-4
+		}
+		s.GradNFixedX(dst, x1, b1)
+		for pt := range ns {
+			if want := p.GradN(x1, ns[pt], b1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("pts=%d GradNFixedX[%d]: batch %v scalar %v", pts, pt, dst[pt], want)
+			}
+		}
+	}
+}
+
+// TestSlabKernelsZeroAlloc is the steady-state allocation gate: once the
+// slab has grown to its working size, refills and every kernel must not
+// allocate (the compiler half of this contract is cmd/allocgate).
+func TestSlabKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := randParams(rng)
+	L := p.L()
+	const pts = 65
+	ns := randGrid(rng, p, pts)
+	s := p.NewSlab(pts)
+	s.SetScales(ns)
+	stride := s.Stride()
+	xs := make([]float64, L*stride)
+	mus := make([]float64, L*stride)
+	bs := make([]float64, L*stride)
+	for i := range xs {
+		xs[i] = 1 + rng.Float64()*10
+		mus[i] = rng.Float64()
+		bs[i] = rng.Float64() * 1e-4
+	}
+	dst := make([]float64, pts)
+	x1 := make([]float64, L)
+	b1 := make([]float64, L)
+	for i := range x1 {
+		x1[i] = 1 + rng.Float64()*10
+		b1[i] = rng.Float64() * 1e-4
+	}
+	steps := map[string]func(){
+		"SetScales":        func() { s.SetScales(ns) },
+		"WallClock":        func() { s.WallClock(dst, xs, mus) },
+		"GradX":            func() { s.GradX(dst, xs, mus, L-1) },
+		"GradN":            func() { s.GradN(dst, xs, bs) },
+		"ExpectedRollback": func() { s.ExpectedRollback(dst, xs, L-1) },
+		"YoungX":           func() { s.YoungX(dst, mus, L-1) },
+		"MuOfN":            func() { s.MuOfN(mus, 1e6) },
+		"GradNFixedX":      func() { s.GradNFixedX(dst, x1, b1) },
+		"WallClockFixedX":  func() { s.WallClockFixedX(dst, x1, b1) },
+		"MuOfNInto":        func() { p.MuOfNInto(b1, 1e5, 1e6) },
+		"BOfTInto":         func() { p.BOfTInto(b1, 1e6) },
+	}
+	for name, fn := range steps {
+		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+			t.Errorf("%s allocates %.1f times per call in steady state", name, avg)
+		}
+	}
+}
+
+// FuzzBatchMatchesScalar drives the two highest-traffic kernels with
+// fuzzer-chosen parameters and requires bit-identical scalar agreement.
+func FuzzBatchMatchesScalar(f *testing.F) {
+	f.Add(int64(1), 3.0e6, 0.46, 1e6, 60.0, 1e5)
+	f.Add(int64(7), 1.0, 0.01, 10.0, 0.0, 0.5)
+	f.Add(int64(42), 9e5, 1.4, 5e5, 120.0, 2e6)
+	f.Fuzz(func(t *testing.T, seed int64, teDays, kappa, nstar, alloc, n0 float64) {
+		if !(teDays > 0) || !(kappa > 0) || !(nstar > 1) || math.IsInf(teDays, 0) ||
+			math.IsInf(nstar, 0) || alloc < 0 || math.IsNaN(alloc) || math.IsNaN(n0) || math.IsInf(n0, 0) {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := randParams(rng)
+		p.Te = teDays * failure.SecondsPerDay
+		p.Speedup = speedup.Quadratic{Kappa: kappa, NStar: nstar}
+		p.Alloc = alloc
+		L := p.L()
+		ns := randGrid(rng, p, 17)
+		ns[0] = n0
+		s := p.NewSlab(len(ns))
+		s.SetScales(ns)
+		x1 := make([]float64, L)
+		b1 := make([]float64, L)
+		mu1 := make([]float64, L)
+		for i := range x1 {
+			x1[i] = 1 + rng.Float64()*100
+			b1[i] = rng.Float64() * 1e-3
+		}
+		dst := make([]float64, len(ns))
+		s.GradNFixedX(dst, x1, b1)
+		for pt, n := range ns {
+			if want := p.GradN(x1, n, b1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("GradNFixedX[%d]: batch %v scalar %v (n=%v)", pt, dst[pt], want, n)
+			}
+		}
+		s.WallClockFixedX(dst, x1, b1)
+		for pt, n := range ns {
+			for i := range mu1 {
+				mu1[i] = b1[i] * n
+			}
+			if want := p.WallClock(x1, n, mu1); !bitsEqual(dst[pt], want) {
+				t.Fatalf("WallClockFixedX[%d]: batch %v scalar %v (n=%v)", pt, dst[pt], want, n)
+			}
+		}
+	})
+}

@@ -266,22 +266,25 @@ func (rt *evRuntime) cost() CostModel { return rt.cm }
 // candidate buffer; reuse it if large enough, otherwise allocate (the
 // too-small candidate is dropped, as sync.Pool drops unsuitable gets).
 func (rt *evRuntime) copyBuf(data []byte) ([]byte, *[]byte) {
-	n := len(data)
-	var p *[]byte
+	buf, p := rt.getBuf(len(data))
+	copy(buf, data)
+	return buf, p
+}
+
+// getBuf returns an uninitialized pooled buffer of length n for a caller
+// that fills it in place (the float-payload send path encodes directly
+// into it, skipping the intermediate byte staging a copyBuf send needs).
+func (rt *evRuntime) getBuf(n int) ([]byte, *[]byte) {
 	if len(rt.free) > 0 {
 		cand := rt.free[len(rt.free)-1]
 		rt.free = rt.free[:len(rt.free)-1]
 		if cap(*cand) >= n {
 			*cand = (*cand)[:n]
-			p = cand
+			return *cand, cand
 		}
 	}
-	if p == nil {
-		b := make([]byte, n)
-		p = &b
-	}
-	copy(*p, data)
-	return *p, p
+	b := make([]byte, n)
+	return b, &b
 }
 
 func (rt *evRuntime) recycle(p *[]byte) {

@@ -119,7 +119,14 @@ func (rt *goRuntime) box(k mailKey) chan message {
 // *[]byte so that Get/Put move a pointer, not a boxed slice header —
 // Put([]byte) would heap-allocate the header on every recycle.
 func (rt *goRuntime) copyBuf(data []byte) ([]byte, *[]byte) {
-	n := len(data)
+	buf, p := rt.getBuf(len(data))
+	copy(buf, data)
+	return buf, p
+}
+
+// getBuf returns an uninitialized pooled buffer of length n for a caller
+// that fills it in place (see evRuntime.getBuf).
+func (rt *goRuntime) getBuf(n int) ([]byte, *[]byte) {
 	p, _ := rt.bufPool.Get().(*[]byte)
 	if p == nil || cap(*p) < n {
 		b := make([]byte, n)
@@ -127,7 +134,6 @@ func (rt *goRuntime) copyBuf(data []byte) ([]byte, *[]byte) {
 	} else {
 		*p = (*p)[:n]
 	}
-	copy(*p, data)
 	return *p, p
 }
 

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"math"
 
+	"mlckpt/internal/enc"
 	"mlckpt/internal/obs"
 )
 
@@ -161,6 +162,9 @@ type backend interface {
 	await(r *Rank, src, tag int) message
 	// copyBuf copies data into an engine-pooled buffer.
 	copyBuf(data []byte) ([]byte, *[]byte)
+	// getBuf returns an uninitialized engine-pooled buffer of length n;
+	// the caller fills it before handing it to deliver.
+	getBuf(n int) ([]byte, *[]byte)
 	// recycle returns a pooled message buffer after RecvInto copied it out.
 	recycle(p *[]byte)
 	// rendezvous blocks the rank in the keyed collective; the last arriver
@@ -299,6 +303,29 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	})
 }
 
+// SendFloats is Send for a float64 payload: the row is encoded (the
+// little-endian wire format of internal/enc) directly into the engine's
+// pooled message buffer, skipping the byte staging buffer a
+// Send(encode(row)) pair needs. Clock arithmetic, message bytes, and
+// matching are identical to Send of the encoded row — a receiver may use
+// Recv/RecvInto or RecvFloatsInto interchangeably.
+//
+//mlckpt:fiber
+func (r *Rank) SendFloats(dst, tag int, row []float64) {
+	if dst < 0 || dst >= r.rt.size() {
+		panic(fmt.Sprintf("mpisim: Send to invalid rank %d", dst))
+	}
+	r.clock += r.rt.cost().Overhead
+	n := 8 * len(row)
+	buf, pooled := r.rt.getBuf(n)
+	enc.PutFloat64s(buf, row)
+	r.rt.deliver(r, dst, tag, message{
+		data:    buf,
+		pooled:  pooled,
+		arrival: r.clock + r.rt.cost().transferTime(n),
+	})
+}
+
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload.
 //
@@ -324,6 +351,22 @@ func (r *Rank) RecvInto(src, tag int, buf []byte) []byte {
 	copy(buf, msg.data)
 	r.rt.recycle(msg.pooled)
 	return buf
+}
+
+// RecvFloatsInto is RecvInto for a float64 payload: the message is
+// decoded directly into dst (whose length must match the payload's word
+// count) and the message buffer returns to the runtime's pool — the
+// inverse of SendFloats, with no intermediate byte buffer on either side.
+// Clock semantics are identical to Recv.
+//
+//mlckpt:fiber
+func (r *Rank) RecvFloatsInto(src, tag int, dst []float64) {
+	msg := r.awaitFrom(src, tag)
+	if 8*len(dst) != len(msg.data) {
+		panic(fmt.Sprintf("mpisim: RecvFloatsInto of a %d-byte message into %d words", len(msg.data), len(dst)))
+	}
+	enc.GetFloat64s(dst, msg.data)
+	r.rt.recycle(msg.pooled)
 }
 
 func (r *Rank) awaitFrom(src, tag int) message {

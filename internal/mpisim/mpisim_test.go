@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync/atomic"
 	"testing"
+
+	"mlckpt/internal/enc"
 )
 
 func TestRunBasics(t *testing.T) {
@@ -330,5 +332,100 @@ func TestDeterministicWallClock(t *testing.T) {
 	}
 	if w1 != w2 {
 		t.Errorf("wall clock not deterministic: %g vs %g", w1, w2)
+	}
+}
+
+// TestFloatMessagingMatchesBytes pins the contract of the float-payload
+// fast path: SendFloats/RecvFloatsInto must produce the same receiver
+// clocks and the same values as encoding the row by hand and shipping it
+// through Send/RecvInto, on both engines. It also crosses the two APIs in
+// both directions, since the wire format is shared.
+func TestFloatMessagingMatchesBytes(t *testing.T) {
+	cost := CostModel{Overhead: 0.25, Latency: 3, ByteTime: 0.01}
+	row := make([]float64, 37)
+	for i := range row {
+		row[i] = float64(i)*1.5 - 7 // includes negatives and zero
+	}
+	run := func(engine Engine, floats bool) (clock float64, got []float64) {
+		got = make([]float64, len(row))
+		_, err := RunOn(engine, 2, cost, func(r *Rank) {
+			if r.ID() == 0 {
+				if floats {
+					r.SendFloats(1, 9, row)
+				} else {
+					buf := make([]byte, 8*len(row))
+					enc.PutFloat64s(buf, row)
+					r.Send(1, 9, buf)
+				}
+			} else {
+				if floats {
+					r.RecvFloatsInto(0, 9, got)
+				} else {
+					buf := r.RecvInto(0, 9, nil)
+					enc.GetFloat64s(got, buf)
+				}
+				clock = r.Clock()
+			}
+		})
+		if err != nil {
+			t.Fatalf("RunOn: %v", err)
+		}
+		return clock, got
+	}
+	for _, engine := range []Engine{EventEngine, GoroutineEngine} {
+		byteClock, byteGot := run(engine, false)
+		floatClock, floatGot := run(engine, true)
+		if math.Float64bits(byteClock) != math.Float64bits(floatClock) {
+			t.Errorf("engine %v: float-path clock %v, byte-path clock %v", engine, floatClock, byteClock)
+		}
+		for i := range row {
+			if math.Float64bits(floatGot[i]) != math.Float64bits(row[i]) {
+				t.Fatalf("engine %v: floatGot[%d] = %v, want %v", engine, i, floatGot[i], row[i])
+			}
+			if math.Float64bits(byteGot[i]) != math.Float64bits(row[i]) {
+				t.Fatalf("engine %v: byteGot[%d] = %v, want %v", engine, i, byteGot[i], row[i])
+			}
+		}
+	}
+
+	// Cross the APIs: SendFloats -> Recv bytes, Send bytes -> RecvFloatsInto.
+	_, err := Run(2, cost, func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendFloats(1, 1, row)
+			buf := make([]byte, 8*len(row))
+			enc.PutFloat64s(buf, row)
+			r.Send(1, 2, buf)
+		} else {
+			raw := r.Recv(0, 1)
+			want := make([]byte, 8*len(row))
+			enc.PutFloat64s(want, row)
+			if !bytes.Equal(raw, want) {
+				panic("SendFloats wire bytes differ from hand-encoded row")
+			}
+			got := make([]float64, len(row))
+			r.RecvFloatsInto(0, 2, got)
+			for i := range row {
+				if math.Float64bits(got[i]) != math.Float64bits(row[i]) {
+					panic("RecvFloatsInto decoded wrong values from a byte Send")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvFloatsIntoSizeMismatch pins the panic on a length mismatch.
+func TestRecvFloatsIntoSizeMismatch(t *testing.T) {
+	_, err := Run(2, DefaultCostModel(), func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendFloats(1, 0, make([]float64, 4))
+		} else {
+			r.RecvFloatsInto(0, 0, make([]float64, 3))
+		}
+	})
+	if err == nil {
+		t.Fatal("size-mismatched RecvFloatsInto not reported")
 	}
 }
